@@ -1,0 +1,56 @@
+"""Figure 6(b): time to generate and send N routing updates to one peer.
+
+Paper: "the pattern is similar to that of receiving ... the good news is
+that TENSOR achieves approximately the same performance as the other
+three implementations" — outgoing replication is a pipelined write-only
+path, so the delayed-acknowledgment penalty does not apply.
+"""
+
+from conftest import PROFILES, PROFILE_LABELS, DaemonLab, run_once
+from repro.metrics import format_table
+from repro.sim.calibration import BGP_SESSION_SETUP_COST
+
+UPDATE_COUNTS = (100, 1_000, 5_000, 10_000, 100_000, 500_000)
+
+
+def run_experiment():
+    results = {}
+    for profile in PROFILES:
+        times = []
+        for count in UPDATE_COUNTS:
+            lab = DaemonLab(profile)
+            times.append(BGP_SESSION_SETUP_COST + lab.send_time(count))
+        results[profile] = times
+    return results
+
+
+def test_fig6b_send_updates(benchmark):
+    results = run_once(benchmark, run_experiment)
+    print()
+    rows = [
+        [PROFILE_LABELS[p]] + [f"{t:.3f}" for t in results[p]]
+        for p in PROFILES
+    ]
+    print(format_table(
+        ["implementation"] + [f"{c:,}" for c in UPDATE_COUNTS],
+        rows,
+        title="Fig 6(b): generate+send time (s) vs number of updates",
+    ))
+    idx = {c: i for i, c in enumerate(UPDATE_COUNTS)}
+    # low flat region below 5K
+    for profile in PROFILES:
+        assert results[profile][idx[1_000]] < 0.2
+    # TENSOR ~ the others: within 35% of FRR at 500K (paper: "approximately
+    # the same performance"; sending is cheaper than receiving)
+    tensor_at_max = results["tensor"][idx[500_000]]
+    frr_at_max = results["frr"][idx[500_000]]
+    assert tensor_at_max / frr_at_max < 1.35
+    # sending is cheaper than receiving for every implementation
+    # (send cost per update < receive cost per update by calibration)
+    from repro.sim.calibration import RECEIVE_COST_PER_UPDATE, SEND_COST_PER_UPDATE
+    for profile in PROFILES:
+        assert SEND_COST_PER_UPDATE[profile] < RECEIVE_COST_PER_UPDATE[profile] * 1.2
+    # near-linear growth at scale
+    for profile in PROFILES:
+        ratio = results[profile][idx[500_000]] / results[profile][idx[100_000]]
+        assert 3.0 < ratio < 7.0

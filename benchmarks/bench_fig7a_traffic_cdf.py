@@ -1,0 +1,57 @@
+"""Figure 7(a): CDF of per-link average throughput to peering ASes.
+
+Paper: "The average and median numbers of the average throughput are
+over 37 Gbps and 64 Mbps, respectively.  Over 30% of the links to
+peering ASes carry over 1 Gb of data per second."  The synthetic model
+(documented in repro.workloads.traffic) matches those three statistics.
+"""
+
+from conftest import run_once
+from repro.metrics import format_table
+from repro.sim import DeterministicRandom
+from repro.sim.calibration import FLEET_PEERING_ASES
+from repro.workloads.traffic import TrafficModel, percentile
+
+
+def run_experiment(links=FLEET_PEERING_ASES, draws=10):
+    model = TrafficModel(DeterministicRandom(77).stream("fig7a"))
+    samples = model.sample_links(links * draws)  # widen for stable tails
+    deciles = [(f, percentile(samples, f)) for f in
+               (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)]
+    mean_bps = sum(samples) / len(samples)
+    over_1g = sum(1 for s in samples if s > 1e9) / len(samples)
+    return {
+        "deciles": deciles,
+        "mean": mean_bps,
+        "median": percentile(samples, 0.5),
+        "over_1g": over_1g,
+        "theoretical_mean": model.theoretical_mean(),
+    }
+
+
+def test_fig7a_traffic_cdf(benchmark):
+    stats = run_once(benchmark, run_experiment)
+    print()
+    print(format_table(
+        ["CDF fraction", "throughput"],
+        [[f"{f:.2f}", _human(v)] for f, v in stats["deciles"]],
+        title="Fig 7(a): per-link average throughput CDF",
+    ))
+    print(f"mean = {_human(stats['mean'])} (theoretical {_human(stats['theoretical_mean'])}),"
+          f" median = {_human(stats['median'])},"
+          f" P[>1 Gbps] = {stats['over_1g']:.2f}")
+    # the three distributional facts of §4.4
+    assert stats["theoretical_mean"] > 30e9           # "over 37 Gbps" scale
+    assert 30e6 < stats["median"] < 130e6             # "~64 Mbps"
+    assert stats["over_1g"] > 0.28                    # "over 30%"
+    # CDF is monotone with a heavy tail
+    values = [v for _f, v in stats["deciles"]]
+    assert values == sorted(values)
+    assert values[-1] / values[0] > 1000
+
+
+def _human(bps):
+    for unit, scale in (("Tbps", 1e12), ("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if bps >= scale:
+            return f"{bps / scale:.1f} {unit}"
+    return f"{bps:.0f} bps"

@@ -1,0 +1,11 @@
+"""Legacy-install shim.
+
+Environments without the `wheel` package cannot build PEP 517 editable
+installs; this shim enables `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain `python setup.py develop`).  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""BIRD profile: packing, but per-peer bookkeeping grows with peer count."""
+
+from repro.baselines.daemon import BaselineDaemon
+
+
+class BirdDaemon(BaselineDaemon):
+    """BIRD stand-in (profile "bird")."""
+
+    profile = "bird"
+    display_name = "BIRD"

@@ -1,0 +1,76 @@
+"""A baseline open-source BGP daemon on a plain host (no NSR).
+
+§4.2: "these open-source BGP implementations do not support BGP NSR.
+Despite that, we used them as a reference of comparison because they
+have very similar performance to our original BGP program without the
+NSR capability."
+"""
+
+from repro.bfd.process import BfdProcess
+from repro.bgp.peer import PeerConfig
+from repro.bgp.speaker import BgpSpeaker, SpeakerConfig
+from repro.tcpsim.stack import TcpStack
+
+
+class BaselineDaemon:
+    """One open-source BGP daemon: host + TCP stack + speaker (+ BFD)."""
+
+    profile = "frr"
+    display_name = "baseline"
+
+    def __init__(self, engine, network, name, address, local_as, router_id=None,
+                 rng=None, graceful_restart_time=None, with_bfd=False):
+        self.engine = engine
+        self.network = network
+        self.name = name
+        self.host = network.add_host(name, address)
+        self.stack = TcpStack(engine, self.host)
+        self.speaker = BgpSpeaker(
+            engine,
+            self.stack,
+            SpeakerConfig(
+                name,
+                local_as,
+                router_id or address,
+                profile=self.profile,
+                graceful_restart_time=graceful_restart_time,
+            ),
+        )
+        self.bfd = BfdProcess(engine, self.host, rng=rng) if with_bfd else None
+
+    def add_vrf(self, name):
+        return self.speaker.add_vrf(name)
+
+    def add_peer(self, remote_addr, remote_as, vrf_name="default", mode="active",
+                 hold_time=90, keepalive_interval=30, **kwargs):
+        return self.speaker.add_peer(
+            PeerConfig(
+                remote_addr,
+                remote_as,
+                vrf_name=vrf_name,
+                mode=mode,
+                hold_time=hold_time,
+                keepalive_interval=keepalive_interval,
+                **kwargs,
+            )
+        )
+
+    def start(self):
+        self.speaker.start()
+        if self.bfd is not None:
+            self.bfd.start()
+
+    def crash(self):
+        """Process/machine death: session drops, peers withdraw routes."""
+        self.speaker.crash()
+        self.stack.destroy()
+        if self.bfd is not None:
+            self.bfd.crash()
+
+    def connect_to(self, other_host, bandwidth=100e9, latency=100e-6, loss=0.0):
+        return self.network.connect(
+            self.host, other_host, latency=latency, bandwidth=bandwidth, loss=loss
+        )
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,10 @@
+"""FRRouting profile: the fastest receive path of Fig. 6(a)."""
+
+from repro.baselines.daemon import BaselineDaemon
+
+
+class FrrDaemon(BaselineDaemon):
+    """FRRouting stand-in (profile "frr")."""
+
+    profile = "frr"
+    display_name = "FRRouting"

@@ -1,0 +1,10 @@
+"""GoBGP profile: no update packing (the Fig. 6(c) outlier)."""
+
+from repro.baselines.daemon import BaselineDaemon
+
+
+class GoBgpDaemon(BaselineDaemon):
+    """GoBGP stand-in (profile "gobgp": regenerates updates per peer)."""
+
+    profile = "gobgp"
+    display_name = "GoBGP"

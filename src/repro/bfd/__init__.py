@@ -1,0 +1,17 @@
+"""Bidirectional Forwarding Detection (RFC 5880, asynchronous mode).
+
+§3.3.2: "Each BGP process connection is associated with a BFD process.
+In TENSOR, it means that each container runs one BFD process.  BFD also
+supports VRF where its VRFs are one-to-one mapped to the VRFs in the BGP
+process."  Tencent's gateway uses 100 ms x 3 detection.
+
+The package also provides the transmit-only relay sessions the agent
+server runs (§3.3.2 "the agent server runs duplicate BFD processes for
+all the containers on other machines") — the split-brain cure.
+"""
+
+from repro.bfd.packet import BfdPacket, BfdState
+from repro.bfd.session import BfdSession
+from repro.bfd.process import BfdProcess, BfdRelay
+
+__all__ = ["BfdPacket", "BfdState", "BfdSession", "BfdProcess", "BfdRelay"]

@@ -1,0 +1,56 @@
+"""The BGP decision process (RFC 4271 §9.1 tie-breaking).
+
+Deterministic and order-independent: given the same candidate set in any
+order, the same route wins (property-tested in
+tests/test_bgp_decision.py).
+"""
+
+DEFAULT_LOCAL_PREF = 100
+
+
+def _peer_tiebreak_key(route):
+    """Final deterministic tie-break: lowest peer identifier."""
+    return str(route.peer_id)
+
+
+def best_path(candidates):
+    """Select the best route from ``candidates`` (non-empty list)."""
+    if not candidates:
+        return None
+    best = candidates[0]
+    for challenger in candidates[1:]:
+        if _prefer(challenger, best):
+            best = challenger
+    return best
+
+
+def _prefer(a, b):
+    """True when route ``a`` beats route ``b``."""
+    # 1. Highest LOCAL_PREF.
+    lp_a = a.attributes.local_pref if a.attributes.local_pref is not None else DEFAULT_LOCAL_PREF
+    lp_b = b.attributes.local_pref if b.attributes.local_pref is not None else DEFAULT_LOCAL_PREF
+    if lp_a != lp_b:
+        return lp_a > lp_b
+    # 2. Shortest AS_PATH.
+    len_a = a.attributes.as_path.path_length()
+    len_b = b.attributes.as_path.path_length()
+    if len_a != len_b:
+        return len_a < len_b
+    # 3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+    if a.attributes.origin != b.attributes.origin:
+        return a.attributes.origin < b.attributes.origin
+    # 4. Lowest MED, compared only between routes from the same first AS.
+    first_a = a.attributes.as_path.first_as()
+    first_b = b.attributes.as_path.first_as()
+    if first_a is not None and first_a == first_b:
+        med_a = a.attributes.med if a.attributes.med is not None else 0
+        med_b = b.attributes.med if b.attributes.med is not None else 0
+        if med_a != med_b:
+            return med_a < med_b
+    # 5. eBGP over iBGP.
+    rank = {"ebgp": 0, "local": 0, "ibgp": 1}
+    if rank[a.source_kind] != rank[b.source_kind]:
+        return rank[a.source_kind] < rank[b.source_kind]
+    # 6. Deterministic peer tie-break (stands in for router-ID comparison;
+    #    peer identifiers embed the peer address).
+    return _peer_tiebreak_key(a) < _peer_tiebreak_key(b)

@@ -1,0 +1,40 @@
+"""BGP session FSM states and legal transitions (RFC 4271 §8).
+
+We implement the operationally meaningful subset: IDLE -> CONNECT ->
+OPEN_SENT -> OPEN_CONFIRM -> ESTABLISHED, with failure edges back to
+IDLE.  (The RFC's ACTIVE state models the passive-side connect race; our
+sessions are configured unambiguously active or passive, so the race
+cannot occur and ACTIVE collapses into CONNECT.)
+"""
+
+import enum
+
+
+class SessionState(enum.Enum):
+    IDLE = "Idle"
+    CONNECT = "Connect"
+    OPEN_SENT = "OpenSent"
+    OPEN_CONFIRM = "OpenConfirm"
+    ESTABLISHED = "Established"
+
+
+_LEGAL_TRANSITIONS = {
+    SessionState.IDLE: {SessionState.CONNECT},
+    SessionState.CONNECT: {SessionState.OPEN_SENT, SessionState.IDLE},
+    SessionState.OPEN_SENT: {SessionState.OPEN_CONFIRM, SessionState.IDLE},
+    SessionState.OPEN_CONFIRM: {SessionState.ESTABLISHED, SessionState.IDLE},
+    SessionState.ESTABLISHED: {SessionState.IDLE},
+}
+
+
+class FsmViolation(Exception):
+    """An illegal state transition was attempted — a programming error."""
+
+
+def transition(current, target):
+    """Validate and return the new state."""
+    if target is current:
+        return current
+    if target not in _LEGAL_TRANSITIONS[current]:
+        raise FsmViolation(f"illegal BGP FSM transition {current.value} -> {target.value}")
+    return target

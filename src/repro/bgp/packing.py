@@ -1,0 +1,74 @@
+"""Update packing (§4.2, citing Zhang & Bartell).
+
+"Because the BGP update message for many peers will be largely the same
+except for the header information, it is possible to speed up the process
+by copying the messages.  This is referred to as 'update packing'."
+
+Two distinct economies fall out of packing:
+
+1. **Per-message packing** — routes sharing a ``PathAttributes`` set are
+   grouped into as few UPDATE messages as fit in 4096 bytes
+   (:func:`pack_routes`).
+2. **Cross-peer copying** — a packed UPDATE built for one peer is reused
+   for other peers whose export policy produced identical attributes; only
+   the "header information" is rewritten, at
+   ``PACKED_COPY_COST_PER_UPDATE`` instead of full generation cost.  GoBGP
+   famously lacks this, which is what Fig. 6(c) shows.
+"""
+
+from repro.bgp.messages import HEADER_SIZE, MAX_MESSAGE_SIZE, UpdateMessage
+
+
+def pack_routes(routes, max_message_size=MAX_MESSAGE_SIZE):
+    """Group (prefix, attributes) pairs into minimal UPDATE messages.
+
+    Routes with equal attributes share messages; each message stays within
+    ``max_message_size`` on the wire.  Returns a list of
+    :class:`UpdateMessage`.
+    """
+    groups = {}
+    order = []
+    for prefix, attributes in routes:
+        key = attributes.key()
+        if key not in groups:
+            groups[key] = (attributes, [])
+            order.append(key)
+        groups[key][1].append(prefix)
+
+    messages = []
+    for key in order:
+        attributes, prefixes = groups[key]
+        attrs_wire_len = len(attributes.to_wire())
+        budget = max_message_size - HEADER_SIZE - 4 - attrs_wire_len
+        batch = []
+        used = 0
+        for prefix in prefixes:
+            size = prefix.wire_size
+            if batch and used + size > budget:
+                messages.append(UpdateMessage(attributes=attributes, nlri=batch))
+                batch = []
+                used = 0
+            batch.append(prefix)
+            used += size
+        if batch:
+            messages.append(UpdateMessage(attributes=attributes, nlri=batch))
+    return messages
+
+
+def pack_withdrawals(prefixes, max_message_size=MAX_MESSAGE_SIZE):
+    """Group withdrawn prefixes into minimal UPDATE messages."""
+    messages = []
+    budget = max_message_size - HEADER_SIZE - 4
+    batch = []
+    used = 0
+    for prefix in prefixes:
+        size = prefix.wire_size
+        if batch and used + size > budget:
+            messages.append(UpdateMessage(withdrawn=batch))
+            batch = []
+            used = 0
+        batch.append(prefix)
+        used += size
+    if batch:
+        messages.append(UpdateMessage(withdrawn=batch))
+    return messages

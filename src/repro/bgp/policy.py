@@ -1,0 +1,121 @@
+"""Routing policy: prefix lists and route maps.
+
+A :class:`RouteMap` is an ordered list of entries; each entry matches on
+prefix lists, communities or AS-path membership and either denies the
+route or permits it with attribute rewrites (local-pref, MED, community
+additions, AS-path prepending).  Applied at import (Adj-RIB-In) and
+export (Adj-RIB-Out) time, as the centralized controller would push them
+to the gateway's BGP containers.
+"""
+
+from repro.bgp.prefixes import PrefixTrie
+
+
+class PrefixList:
+    """Named list of prefixes; matches exact or covering prefixes."""
+
+    def __init__(self, name, entries=(), match_longer=True):
+        self.name = name
+        self.match_longer = match_longer
+        self._trie = PrefixTrie()
+        for prefix in entries:
+            self._trie.insert(prefix, True)
+
+    def add(self, prefix):
+        self._trie.insert(prefix, True)
+
+    def matches(self, prefix):
+        if self.match_longer:
+            return self._trie.longest_match(prefix) is not None
+        return self._trie.exact(prefix) is not None
+
+
+class PolicyAction:
+    """Attribute rewrites applied by a permitting route-map entry."""
+
+    def __init__(
+        self,
+        set_local_pref=None,
+        set_med=None,
+        add_communities=(),
+        prepend_as=None,
+        prepend_count=1,
+        set_next_hop=None,
+    ):
+        self.set_local_pref = set_local_pref
+        self.set_med = set_med
+        self.add_communities = tuple(add_communities)
+        self.prepend_as = prepend_as
+        self.prepend_count = prepend_count
+        self.set_next_hop = set_next_hop
+
+    def apply(self, attributes):
+        overrides = {}
+        if self.set_local_pref is not None:
+            overrides["local_pref"] = self.set_local_pref
+        if self.set_med is not None:
+            overrides["med"] = self.set_med
+        if self.add_communities:
+            merged = tuple(sorted(set(attributes.communities) | set(self.add_communities)))
+            overrides["communities"] = merged
+        if self.prepend_as is not None:
+            overrides["as_path"] = attributes.as_path.prepend(
+                self.prepend_as, self.prepend_count
+            )
+        if self.set_next_hop is not None:
+            overrides["next_hop"] = self.set_next_hop
+        return attributes.replace(**overrides) if overrides else attributes
+
+
+class RouteMapEntry:
+    """One clause: match conditions -> permit (with action) or deny."""
+
+    def __init__(
+        self,
+        permit=True,
+        match_prefix_list=None,
+        match_community=None,
+        match_as=None,
+        action=None,
+    ):
+        self.permit = permit
+        self.match_prefix_list = match_prefix_list
+        self.match_community = match_community
+        self.match_as = match_as
+        self.action = action or PolicyAction()
+
+    def matches(self, prefix, attributes):
+        if self.match_prefix_list is not None and not self.match_prefix_list.matches(prefix):
+            return False
+        if self.match_community is not None and self.match_community not in attributes.communities:
+            return False
+        if self.match_as is not None and not attributes.as_path.contains(self.match_as):
+            return False
+        return True
+
+
+class RouteMap:
+    """Ordered clauses with an implicit trailing deny (like IOS/FRR)."""
+
+    def __init__(self, name, entries=(), default_permit=False):
+        self.name = name
+        self.entries = list(entries)
+        self.default_permit = default_permit
+
+    def append(self, entry):
+        self.entries.append(entry)
+        return entry
+
+    def evaluate(self, prefix, attributes):
+        """Return rewritten attributes, or None when the route is denied."""
+        for entry in self.entries:
+            if entry.matches(prefix, attributes):
+                if not entry.permit:
+                    return None
+                return entry.action.apply(attributes)
+        return attributes if self.default_permit else None
+
+
+#: A route map that permits everything untouched (the default when a peer
+#: has no policy configured).
+PERMIT_ALL = RouteMap("permit-all", default_permit=True)

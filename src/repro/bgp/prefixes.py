@@ -1,0 +1,222 @@
+"""IP prefixes and a binary trie for longest-prefix matching.
+
+Prefixes are the NLRI currency of BGP.  We support IPv4 and IPv6; the
+wire encoding (RFC 4271 §4.3) is a length octet followed by the minimum
+number of prefix octets.
+"""
+
+
+class Prefix:
+    """An immutable IP prefix (network address + mask length + AFI)."""
+
+    __slots__ = ("value", "length", "afi")
+
+    AFI_IPV4 = 1
+    AFI_IPV6 = 2
+
+    def __init__(self, value, length, afi=AFI_IPV4):
+        bits = 32 if afi == self.AFI_IPV4 else 128
+        if not 0 <= length <= bits:
+            raise ValueError(f"prefix length {length} out of range for afi {afi}")
+        mask = ((1 << length) - 1) << (bits - length) if length else 0
+        self.value = value & mask
+        self.length = length
+        self.afi = afi
+
+    @property
+    def bits(self):
+        return 32 if self.afi == self.AFI_IPV4 else 128
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"10.1.0.0/16"`` or ``"2001:db8::/32"``."""
+        if "/" in text:
+            addr, _slash, length_text = text.partition("/")
+            length = int(length_text)
+        else:
+            addr = text
+            length = 128 if ":" in text else 32
+        if ":" in addr:
+            return cls(_parse_v6(addr), length, cls.AFI_IPV6)
+        return cls(_parse_v4(addr), length, cls.AFI_IPV4)
+
+    @classmethod
+    def from_wire(cls, data, offset, afi=AFI_IPV4):
+        """Decode one wire prefix; returns (prefix, new_offset)."""
+        length = data[offset]
+        offset += 1
+        octets = (length + 7) // 8
+        bits = 32 if afi == cls.AFI_IPV4 else 128
+        if length > bits:
+            raise ValueError(f"prefix length {length} exceeds AFI width {bits}")
+        raw = bytes(data[offset : offset + octets])
+        if len(raw) < octets:
+            raise ValueError("truncated prefix")
+        value = int.from_bytes(raw + b"\x00" * (bits // 8 - octets), "big")
+        return cls(value, length, afi), offset + octets
+
+    # -- encoding -----------------------------------------------------------
+
+    def to_wire(self):
+        octets = (self.length + 7) // 8
+        raw = self.value.to_bytes(self.bits // 8, "big")[:octets]
+        return bytes([self.length]) + raw
+
+    @property
+    def wire_size(self):
+        return 1 + (self.length + 7) // 8
+
+    # -- relations ----------------------------------------------------------
+
+    def contains(self, other):
+        """True when ``other`` (Prefix of same AFI) is within this prefix."""
+        if self.afi != other.afi or other.length < self.length:
+            return False
+        shift = self.bits - self.length
+        return (self.value >> shift) == (other.value >> shift) if shift else (
+            self.value == other.value
+        )
+
+    def bit_at(self, index):
+        """The prefix bit at position ``index`` (0 = most significant)."""
+        return (self.value >> (self.bits - 1 - index)) & 1
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Prefix)
+            and self.value == other.value
+            and self.length == other.length
+            and self.afi == other.afi
+        )
+
+    def __hash__(self):
+        return hash((self.value, self.length, self.afi))
+
+    def __lt__(self, other):
+        return (self.afi, self.value, self.length) < (
+            other.afi,
+            other.value,
+            other.length,
+        )
+
+    def __str__(self):
+        if self.afi == self.AFI_IPV4:
+            addr = ".".join(str(b) for b in self.value.to_bytes(4, "big"))
+        else:
+            raw = self.value.to_bytes(16, "big")
+            groups = [f"{(raw[i] << 8) | raw[i + 1]:x}" for i in range(0, 16, 2)]
+            addr = ":".join(groups)
+        return f"{addr}/{self.length}"
+
+    def __repr__(self):
+        return f"Prefix({str(self)!r})"
+
+
+def _parse_v4(addr):
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {addr!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad IPv4 octet {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _parse_v6(addr):
+    if addr.count("::") > 1:
+        raise ValueError(f"bad IPv6 address {addr!r} (multiple '::')")
+    if "::" in addr:
+        head_text, _sep, tail_text = addr.partition("::")
+        head = [int(g, 16) for g in head_text.split(":") if g]
+        tail = [int(g, 16) for g in tail_text.split(":") if g]
+        groups = head + [0] * (8 - len(head) - len(tail)) + tail
+    else:
+        groups = [int(g, 16) for g in addr.split(":")]
+    if len(groups) != 8 or any(not 0 <= g <= 0xFFFF for g in groups):
+        raise ValueError(f"bad IPv6 address {addr!r}")
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+class _TrieNode:
+    __slots__ = ("children", "entry", "has_entry")
+
+    def __init__(self):
+        self.children = [None, None]
+        self.entry = None
+        self.has_entry = False
+
+
+class PrefixTrie:
+    """A binary trie mapping prefixes to values, with longest-prefix match.
+
+    Used by the forwarding-plane examples (FIB lookups) and by policy
+    prefix-lists; the RIBs themselves use exact-match dicts for speed.
+    """
+
+    def __init__(self):
+        self._roots = {Prefix.AFI_IPV4: _TrieNode(), Prefix.AFI_IPV6: _TrieNode()}
+        self._count = 0
+
+    def insert(self, prefix, value):
+        node = self._roots[prefix.afi]
+        for i in range(prefix.length):
+            bit = prefix.bit_at(i)
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        if not node.has_entry:
+            self._count += 1
+        node.entry = value
+        node.has_entry = True
+
+    def remove(self, prefix):
+        """Remove an exact prefix; returns True if it existed."""
+        node = self._roots[prefix.afi]
+        for i in range(prefix.length):
+            node = node.children[prefix.bit_at(i)]
+            if node is None:
+                return False
+        if node.has_entry:
+            node.has_entry = False
+            node.entry = None
+            self._count -= 1
+            return True
+        return False
+
+    def exact(self, prefix):
+        node = self._roots[prefix.afi]
+        for i in range(prefix.length):
+            node = node.children[prefix.bit_at(i)]
+            if node is None:
+                return None
+        return node.entry if node.has_entry else None
+
+    def longest_match(self, prefix):
+        """The most specific stored entry covering ``prefix``.
+
+        Returns (matched_length, value) or None.
+        """
+        node = self._roots[prefix.afi]
+        best = None
+        if node.has_entry:
+            best = (0, node.entry)
+        for i in range(prefix.length):
+            node = node.children[prefix.bit_at(i)]
+            if node is None:
+                break
+            if node.has_entry:
+                best = (i + 1, node.entry)
+        return best
+
+    def __len__(self):
+        return self._count

@@ -1,0 +1,179 @@
+"""Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+Per RFC 4271 §3.2: routes learned from each peer land in that peer's
+Adj-RIB-In; the decision process selects one best route per prefix into
+the Loc-RIB; per-peer Adj-RIB-Out holds what has been advertised.
+"""
+
+from repro.bgp.decision import best_path
+
+
+class Route:
+    """One path for one prefix, learned from (or destined to) a peer."""
+
+    __slots__ = ("prefix", "attributes", "peer_id", "source_kind")
+
+    def __init__(self, prefix, attributes, peer_id, source_kind="ebgp"):
+        self.prefix = prefix
+        self.attributes = attributes
+        self.peer_id = peer_id
+        self.source_kind = source_kind  # "ebgp" | "ibgp" | "local"
+
+    def __eq__(self, other):
+        return isinstance(other, Route) and (
+            self.prefix,
+            self.attributes,
+            self.peer_id,
+            self.source_kind,
+        ) == (other.prefix, other.attributes, other.peer_id, other.source_kind)
+
+    def __repr__(self):
+        return f"<Route {self.prefix} via {self.peer_id} ({self.source_kind})>"
+
+
+class AdjRibIn:
+    """Routes received from one peer, post-inbound-policy."""
+
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+        self._routes = {}  # prefix -> Route
+
+    def update(self, route):
+        """Insert/replace; returns the displaced route or None."""
+        old = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return old
+
+    def withdraw(self, prefix):
+        """Remove; returns the removed route or None."""
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix):
+        return self._routes.get(prefix)
+
+    def prefixes(self):
+        return self._routes.keys()
+
+    def routes(self):
+        return self._routes.values()
+
+    def clear(self):
+        doomed = list(self._routes.keys())
+        self._routes.clear()
+        return doomed
+
+    def __len__(self):
+        return len(self._routes)
+
+
+class LocRib:
+    """The selected best route per prefix, plus all candidate paths."""
+
+    def __init__(self, local_as=0, router_id=0):
+        self.local_as = local_as
+        self.router_id = router_id
+        self._best = {}  # prefix -> Route
+        self._candidates = {}  # prefix -> {peer_id: Route}
+        self.decision_runs = 0
+
+    def offer(self, route):
+        """Add/replace a candidate path and re-run selection for its prefix.
+
+        Returns (old_best, new_best); identical values mean no change.
+        """
+        candidates = self._candidates.setdefault(route.prefix, {})
+        candidates[route.peer_id] = route
+        return self._reselect(route.prefix)
+
+    def retract(self, prefix, peer_id):
+        """Drop a peer's candidate and re-run selection for the prefix."""
+        candidates = self._candidates.get(prefix)
+        if not candidates or peer_id not in candidates:
+            return self._best.get(prefix), self._best.get(prefix)
+        del candidates[peer_id]
+        if not candidates:
+            del self._candidates[prefix]
+        return self._reselect(prefix)
+
+    def _reselect(self, prefix):
+        self.decision_runs += 1
+        old = self._best.get(prefix)
+        candidates = self._candidates.get(prefix)
+        new = best_path(list(candidates.values())) if candidates else None
+        if new is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = new
+        return old, new
+
+    def best(self, prefix):
+        return self._best.get(prefix)
+
+    def best_routes(self):
+        return self._best.values()
+
+    def prefixes(self):
+        return self._best.keys()
+
+    def candidates(self, prefix):
+        return dict(self._candidates.get(prefix, {}))
+
+    def __len__(self):
+        return len(self._best)
+
+    # -- snapshot support (TENSOR backs the table up in the database) ------
+
+    def export_entries(self):
+        """Serializable view of every candidate path (sorted for determinism)."""
+        entries = []
+        for prefix in sorted(self._candidates):
+            for peer_id, route in sorted(self._candidates[prefix].items(), key=lambda kv: str(kv[0])):
+                entries.append(
+                    {
+                        "prefix": str(prefix),
+                        "peer_id": peer_id,
+                        "source_kind": route.source_kind,
+                        "attributes": route.attributes.to_wire(),
+                    }
+                )
+        return entries
+
+    @classmethod
+    def import_entries(cls, entries, local_as=0, router_id=0):
+        """Rebuild a LocRib from :meth:`export_entries` output."""
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.prefixes import Prefix
+
+        rib = cls(local_as=local_as, router_id=router_id)
+        for entry in entries:
+            route = Route(
+                Prefix.parse(entry["prefix"]),
+                PathAttributes.from_wire(entry["attributes"]),
+                entry["peer_id"],
+                entry["source_kind"],
+            )
+            rib.offer(route)
+        return rib
+
+
+class AdjRibOut:
+    """What has been advertised to one peer."""
+
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+        self._routes = {}  # prefix -> PathAttributes as advertised
+
+    def advertised(self, prefix):
+        return self._routes.get(prefix)
+
+    def record_advertise(self, prefix, attributes):
+        self._routes[prefix] = attributes
+
+    def record_withdraw(self, prefix):
+        self._routes.pop(prefix, None)
+
+    def prefixes(self):
+        return self._routes.keys()
+
+    def __len__(self):
+        return len(self._routes)

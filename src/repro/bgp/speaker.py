@@ -1,0 +1,509 @@
+"""The BGP speaker: sessions, RIBs, decision process, advertisement.
+
+One speaker is one BGP process.  Baseline daemons (FRR/GoBGP/BIRD
+profiles) use it directly; TENSOR subclasses it and interposes
+replication on the receive, send and keepalive paths (§3.1).
+
+The speaker carries an explicit CPU cost model (a busy-until queue):
+message parsing/applying and update generation charge calibrated
+per-update costs, so the absolute durations of Fig. 6 emerge from the
+same mechanisms the paper measures rather than from sleeps sprinkled in
+benchmarks.
+"""
+
+from repro.bgp.capabilities import Capabilities
+from repro.bgp.messages import (
+    BGP_PORT,
+    KeepaliveMessage,
+    UpdateMessage,
+)
+from repro.bgp.packing import pack_routes, pack_withdrawals
+from repro.bgp.peer import PeerConfig, PeerSession
+from repro.bgp.attributes import ipv4_to_int
+from repro.bgp.rib import Route
+from repro.bgp.vrf import Vrf
+from repro.sim.calibration import (
+    PACKED_COPY_COST_PER_UPDATE,
+    PER_PEER_SESSION_COST,
+    BIRD_PER_PEER_SUPERLINEAR,
+    RECEIVE_COST_PER_UPDATE,
+    SEND_COST_PER_UPDATE,
+)
+from repro.sim.process import Process
+
+#: CPU cost of handling a non-UPDATE message (OPEN/KEEPALIVE/...).
+CONTROL_MESSAGE_COST = 2e-6
+#: Min route advertisement interval — propagation batches flush at this pace.
+DEFAULT_MRAI = 0.05
+
+
+class SpeakerConfig:
+    """Static configuration of one BGP process."""
+
+    def __init__(
+        self,
+        name,
+        local_as,
+        router_id,
+        profile="frr",
+        update_packing=None,
+        mrai=DEFAULT_MRAI,
+        graceful_restart_time=None,
+    ):
+        self.name = name
+        self.local_as = local_as
+        self.router_id = router_id  # dotted-quad string
+        self.profile = profile
+        if update_packing is None:
+            # GoBGP is the implementation without update packing (§4.2).
+            update_packing = profile != "gobgp"
+        self.update_packing = update_packing
+        self.mrai = mrai
+        self.graceful_restart_time = graceful_restart_time
+
+    @property
+    def router_id_int(self):
+        return ipv4_to_int(self.router_id)
+
+    @property
+    def receive_cost(self):
+        return RECEIVE_COST_PER_UPDATE[self.profile]
+
+    @property
+    def send_cost(self):
+        return SEND_COST_PER_UPDATE[self.profile]
+
+    @property
+    def packed_copy_cost(self):
+        return PACKED_COPY_COST_PER_UPDATE.get(self.profile, self.send_cost)
+
+    @property
+    def per_peer_cost(self):
+        return PER_PEER_SESSION_COST[self.profile]
+
+
+class BgpSpeaker:
+    """One BGP process: VRFs, peers, CPU model, advertisement engine."""
+
+    def __init__(self, engine, stack, config):
+        self.engine = engine
+        self.stack = stack
+        self.config = config
+        self.process = Process(engine, f"bgp:{config.name}")
+        self.vrfs = {}
+        self.sessions = {}
+        self.running = False
+        self._listening = False
+        self._cpu_busy_until = 0.0
+        self._pending_adverts = {}  # session.peer_id -> {prefix: route-or-None}
+        self._flush_scheduled = False
+        self.log_lines = []
+        self.last_apply_time = None
+        self.total_updates_received = 0
+        self.total_updates_sent = 0
+        # peers that advertised fan-out work already paid generation for,
+        # keyed by packed-attribute identity (cross-peer update packing).
+        self._generation_cache = set()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def add_vrf(self, name, local_as=None, router_id=None, vxlan_vni=None):
+        vrf = Vrf(
+            name,
+            local_as if local_as is not None else self.config.local_as,
+            router_id if router_id is not None else self.config.router_id_int,
+            vxlan_vni,
+        )
+        self.vrfs[name] = vrf
+        return vrf
+
+    def add_peer(self, peer_config, autostart=True):
+        if peer_config.vrf_name not in self.vrfs:
+            self.add_vrf(peer_config.vrf_name)
+        session = PeerSession(self, peer_config)
+        self.sessions[peer_config.peer_id] = session
+        self.vrfs[peer_config.vrf_name].attach_peer(peer_config.peer_id)
+        if self.running and autostart:
+            self._start_session(session)
+        return session
+
+    def make_capabilities(self, peer_config):
+        return Capabilities(
+            four_octet_as=self.config.local_as,
+            route_refresh=True,
+            graceful_restart_time=self.config.graceful_restart_time,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        self.running = True
+        for session in self.sessions.values():
+            self._start_session(session)
+
+    def _start_session(self, session):
+        if session.config.mode == "passive":
+            self._ensure_listening()
+        session.start()
+
+    def _ensure_listening(self):
+        if not self._listening:
+            self.stack.listen(BGP_PORT, self._on_accept)
+            self._listening = True
+
+    def _on_accept(self, conn):
+        for session in self.sessions.values():
+            if (
+                session.config.mode == "passive"
+                and session.config.remote_addr == conn.remote_addr
+                and not session.established
+                and session.conn is None
+            ):
+                session.attach_connection(conn)
+                return
+        conn.abort()  # no configured neighbour matches: reject
+
+    def crash(self):
+        """Abrupt process death: timers stop, no notifications sent."""
+        self.running = False
+        self.process.kill()
+        for session in self.sessions.values():
+            session.hold_timer.stop()
+            session.keepalive_timer.stop()
+            session.retry_timer.stop()
+            session.gr_timer.stop()
+            session.state = type(session.state).IDLE
+            session.conn = None
+
+    def graceful_shutdown(self):
+        """Administrative shutdown: CEASE to every peer."""
+        self.running = False
+        for session in list(self.sessions.values()):
+            session.stop(notify_peer=True)
+        self.process.kill()
+
+    # ------------------------------------------------------------------
+    # CPU model
+    # ------------------------------------------------------------------
+
+    def charge(self, cost, callback, *args):
+        """Run ``callback`` after queueing ``cost`` seconds of CPU."""
+        now = self.engine.now
+        start = max(now, self._cpu_busy_until)
+        self._cpu_busy_until = start + cost
+        self.engine.schedule(self._cpu_busy_until - now, callback, *args)
+
+    def cpu_queue_depth(self):
+        return max(0.0, self._cpu_busy_until - self.engine.now)
+
+    # ------------------------------------------------------------------
+    # receive path (hookable)
+    # ------------------------------------------------------------------
+
+    def dispatch_received(self, session, message, size):
+        """Charge CPU and apply; TENSOR interposes replication here."""
+        cost = self._receive_cost_of(message)
+        self.charge(cost, self._apply_received, session, message, size)
+
+    def _receive_cost_of(self, message):
+        if isinstance(message, UpdateMessage):
+            return CONTROL_MESSAGE_COST + self.config.receive_cost * message.route_count()
+        return CONTROL_MESSAGE_COST
+
+    def _apply_received(self, session, message, size):
+        if not self.running:
+            return
+        if isinstance(message, UpdateMessage):
+            self.total_updates_received += message.route_count()
+            self.last_apply_time = self.engine.now
+        session.handle_message(message, size)
+
+    # ------------------------------------------------------------------
+    # send path (hookable)
+    # ------------------------------------------------------------------
+
+    def dispatch_send(self, session, message, generation_cost=None):
+        """Charge generation CPU, then transmit; TENSOR interposes here."""
+        if generation_cost is None:
+            generation_cost = self._send_cost_of(message)
+        wire = message.to_wire()
+        self.charge(generation_cost, self._transmit, session, message, wire)
+
+    def _send_cost_of(self, message):
+        if isinstance(message, UpdateMessage):
+            return CONTROL_MESSAGE_COST + self.config.send_cost * message.route_count()
+        return CONTROL_MESSAGE_COST
+
+    def _transmit(self, session, message, wire):
+        if not self.running:
+            return
+        if isinstance(message, UpdateMessage):
+            self.total_updates_sent += message.route_count()
+        session.transmit_wire(message, wire)
+
+    def keepalive_due(self, session):
+        """The keepalive thread's tick; TENSOR replicates before sending."""
+        session.send_message(KeepaliveMessage())
+
+    def tcp_established(self, session):
+        """Hook: a session's TCP connection just completed its handshake.
+
+        TENSOR installs its Netfilter rules and records session metadata
+        here, before any BGP message (or its ACK) flows.
+        """
+
+    def stream_progress(self, session):
+        """Hook: bytes arrived, possibly leaving a partial message buffered.
+
+        TENSOR replicates the partial tail so the ACK covering it can be
+        released even when the message completes much later (a sender with
+        a collapsed congestion window would otherwise deadlock against the
+        held ACK).
+        """
+
+    # ------------------------------------------------------------------
+    # advertisement engine
+    # ------------------------------------------------------------------
+
+    def originate(self, vrf_name, prefix, attributes):
+        """Inject a locally-originated route and propagate it."""
+        vrf = self.vrfs[vrf_name]
+        route = Route(prefix, attributes, f"local:{self.config.name}", "local")
+        old, new = vrf.loc_rib.offer(route)
+        self._queue_change(None, vrf, prefix, old, new)
+
+    def originate_many(self, vrf_name, routes):
+        """Bulk originate [(prefix, attributes), ...] without propagation
+        churn (used to preload tables for benchmarks)."""
+        vrf = self.vrfs[vrf_name]
+        for prefix, attributes in routes:
+            vrf.loc_rib.offer(Route(prefix, attributes, f"local:{self.config.name}", "local"))
+
+    def withdraw_originated(self, vrf_name, prefix):
+        vrf = self.vrfs[vrf_name]
+        old, new = vrf.loc_rib.retract(prefix, f"local:{self.config.name}")
+        self._queue_change(None, vrf, prefix, old, new)
+
+    def session_established(self, session):
+        """Initial table advertisement to a newly-established peer."""
+        self.charge(self.config.per_peer_cost, lambda: None)
+        vrf = session.vrf
+        routes = [
+            (route.prefix, route.attributes)
+            for route in vrf.loc_rib.best_routes()
+            if route.peer_id != session.peer_id
+        ]
+        if routes:
+            self.advertise_routes_to_sessions(routes, [session])
+
+    def session_down(self, session):
+        """Hook: a session left ESTABLISHED (failure or admin)."""
+
+    def readvertise(self, session):
+        vrf = session.vrf
+        routes = [
+            (route.prefix, route.attributes)
+            for route in vrf.loc_rib.best_routes()
+            if route.peer_id != session.peer_id
+        ]
+        if routes:
+            self.advertise_routes_to_sessions(routes, [session])
+
+    def best_paths_changed(self, origin_session, changes):
+        """Queue best-path changes for propagation to other peers."""
+        self.last_apply_time = self.engine.now
+        origin_id = origin_session.peer_id if origin_session else None
+        for prefix, old, new in changes:
+            if old is new:
+                continue
+            vrf = (
+                origin_session.vrf
+                if origin_session
+                else self._vrf_of_prefix(prefix, old, new)
+            )
+            self._queue_change(origin_session, vrf, prefix, old, new)
+
+    def _vrf_of_prefix(self, prefix, old, new):
+        route = new or old
+        for vrf in self.vrfs.values():
+            if vrf.loc_rib.best(prefix) is route or route.peer_id in vrf.peer_ids or route.peer_id.startswith("local:"):
+                return vrf
+        return next(iter(self.vrfs.values()))
+
+    def _queue_change(self, origin_session, vrf, prefix, old, new):
+        for session in self.sessions.values():
+            if session.config.vrf_name != vrf.name:
+                continue
+            if origin_session is not None and session is origin_session:
+                continue
+            if not session.established:
+                continue
+            # iBGP split horizon: routes learned from iBGP do not propagate
+            # to other iBGP peers (the joint-container design of §3.2.4 uses
+            # full-mesh iBGP between joint and member containers).
+            if (
+                new is not None
+                and new.source_kind == "ibgp"
+                and session.source_kind == "ibgp"
+            ):
+                continue
+            self._pending_adverts.setdefault(session.peer_id, {})[prefix] = new
+        if self._pending_adverts and not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.engine.schedule(self.config.mrai, self._flush_adverts)
+
+    def _flush_adverts(self):
+        self._flush_scheduled = False
+        if not self.running:
+            return
+        pending, self._pending_adverts = self._pending_adverts, {}
+        for peer_id, changes in pending.items():
+            session = self.sessions.get(peer_id)
+            if session is None or not session.established:
+                continue
+            announcements = []
+            withdrawals = []
+            for prefix, route in changes.items():
+                if route is None:
+                    if session.adj_rib_out.advertised(prefix) is not None:
+                        withdrawals.append(prefix)
+                else:
+                    announcements.append((prefix, route.attributes))
+            if withdrawals:
+                self._send_withdrawals(session, withdrawals)
+            if announcements:
+                self.advertise_routes_to_sessions(announcements, [session])
+
+    def _send_withdrawals(self, session, prefixes):
+        for message in pack_withdrawals(prefixes):
+            for prefix in message.withdrawn:
+                session.adj_rib_out.record_withdraw(prefix)
+            session.send_message(message)
+
+    def advertise_routes_to_sessions(self, routes, sessions):
+        """Fan out ``[(prefix, attributes), ...]`` to ``sessions``.
+
+        With update packing, generation cost is paid once per distinct
+        packed attribute set; further peers pay only the copy cost
+        (§4.2 "update packing").  Without packing (GoBGP), every peer pays
+        full generation for every route, one UPDATE per route.
+        """
+        for session in sessions:
+            export = self._export_routes(session, routes)
+            if not export:
+                continue
+            self.charge(self._per_peer_fanout_cost(), lambda: None)
+            if self.config.update_packing:
+                self._advertise_packed(session, export)
+            else:
+                self._advertise_unpacked(session, export)
+
+    def _per_peer_fanout_cost(self):
+        cost = self.config.per_peer_cost
+        if self.config.profile == "bird":
+            cost += BIRD_PER_PEER_SUPERLINEAR * len(self.sessions)
+        return cost
+
+    def _export_routes(self, session, routes):
+        """Apply export policy + eBGP attribute rules for one peer."""
+        local_as = self.config.local_as
+        is_ebgp = session.source_kind == "ebgp"
+        out = []
+        for prefix, attributes in routes:
+            exported = session.config.export_policy.evaluate(prefix, attributes)
+            if exported is None:
+                continue
+            if is_ebgp:
+                exported = exported.replace(
+                    as_path=exported.as_path.prepend(local_as),
+                    next_hop=self.stack.host.address,
+                    local_pref=None,
+                )
+            elif exported.next_hop is None:
+                exported = exported.replace(next_hop=self.stack.host.address)
+            out.append((prefix, exported))
+        return out
+
+    def _split_by_afi(self, export):
+        """Partition (prefix, attrs) pairs: v4 rides classic NLRI, v6
+        rides MP_REACH_NLRI (RFC 4760)."""
+        from repro.bgp.multiprotocol import attach_mp_reach
+        from repro.bgp.prefixes import Prefix
+
+        v4 = [(p, a) for p, a in export if p.afi == Prefix.AFI_IPV4]
+        v6 = [(p, a) for p, a in export if p.afi == Prefix.AFI_IPV6]
+        if not v6:
+            return v4, []
+        # v4-mapped next hop of this speaker (a real deployment would use
+        # the interface's global v6 address)
+        next_hop_v6 = (0xFFFF << 32) | ipv4_to_int(self.stack.host.address)
+        by_attrs = {}
+        order = []
+        for prefix, attrs in v6:
+            key = attrs.key()
+            if key not in by_attrs:
+                by_attrs[key] = (attrs, [])
+                order.append(key)
+            by_attrs[key][1].append(prefix)
+        v6_messages = []
+        for key in order:
+            attrs, prefixes = by_attrs[key]
+            mp_attrs = attach_mp_reach(attrs, next_hop_v6, prefixes)
+            v6_messages.append((UpdateMessage(attributes=mp_attrs), len(prefixes)))
+        return v4, v6_messages
+
+    def _advertise_packed(self, session, export):
+        export, v6_messages = self._split_by_afi(export)
+        for message, route_count in v6_messages:
+            from repro.bgp.multiprotocol import mp_routes_of
+
+            reach, _unreach = mp_routes_of(message.attributes)
+            for prefix in reach.nlri:
+                session.adj_rib_out.record_advertise(prefix, message.attributes)
+            cost = CONTROL_MESSAGE_COST + self.config.send_cost * route_count
+            self.dispatch_send(session, message, generation_cost=cost)
+        messages = pack_routes(export)
+        for message in messages:
+            cache_key = (message.attributes.key(), tuple(message.nlri))
+            if cache_key in self._generation_cache:
+                cost = CONTROL_MESSAGE_COST + self.config.packed_copy_cost * len(message.nlri)
+            else:
+                self._generation_cache.add(cache_key)
+                if len(self._generation_cache) > 4096:
+                    self._generation_cache.clear()
+                cost = None  # full generation cost
+            for prefix in message.nlri:
+                session.adj_rib_out.record_advertise(prefix, message.attributes)
+            self.dispatch_send(session, message, generation_cost=cost)
+
+    def _advertise_unpacked(self, session, export):
+        export, v6_messages = self._split_by_afi(export)
+        for message, route_count in v6_messages:
+            cost = CONTROL_MESSAGE_COST + self.config.send_cost * route_count
+            self.dispatch_send(session, message, generation_cost=cost)
+        for prefix, attributes in export:
+            session.adj_rib_out.record_advertise(prefix, attributes)
+            self.dispatch_send(session, UpdateMessage(attributes=attributes, nlri=[prefix]))
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def established_sessions(self):
+        return [s for s in self.sessions.values() if s.established]
+
+    def route_count(self):
+        return sum(len(vrf.loc_rib) for vrf in self.vrfs.values())
+
+    def log(self, line):
+        self.log_lines.append((self.engine.now, line))
+
+    def __repr__(self):
+        return (
+            f"<BgpSpeaker {self.config.name!r} as={self.config.local_as}"
+            f" peers={len(self.sessions)} routes={self.route_count()}>"
+        )

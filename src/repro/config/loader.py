@@ -1,0 +1,209 @@
+"""Spec validation and system construction.
+
+Example spec::
+
+    {
+      "seed": 7,
+      "hook_technology": "netfilter",          # or "ebpf"
+      "remote_db": {"latency": 0.005, "mode": "async"},   # optional
+      "machines": [
+        {"name": "gw-1", "address": "10.1.0.1"},
+        {"name": "gw-2", "address": "10.2.0.1"}
+      ],
+      "pairs": [
+        {
+          "name": "pair0",
+          "primary": "gw-1", "backup": "gw-2",
+          "service_addr": "10.10.0.1",
+          "local_as": 65001, "router_id": "10.10.0.1",
+          "config_entries": 100, "preheat_backup": true,
+          "neighbors": [
+            {"remote_addr": "192.0.2.1", "remote_as": 64512,
+             "vrf": "v0", "mode": "passive"}
+          ]
+        }
+      ],
+      "remotes": [                                # optional lab peers
+        {"name": "remote0", "address": "192.0.2.1", "asn": 64512,
+         "links": ["gw-1", "gw-2"],
+         "peer": {"gateway": "10.10.0.1", "gateway_as": 65001, "vrf": "v0"}}
+      ]
+    }
+"""
+
+import json
+
+from repro.core.system import PeerNeighborSpec, TensorSystem
+from repro.workloads.topology import build_remote_peer
+
+
+class ConfigError(ValueError):
+    """A malformed deployment spec, with a path to the offending field."""
+
+    def __init__(self, path, message):
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+def _require(mapping, key, path, types=None):
+    if key not in mapping:
+        raise ConfigError(f"{path}.{key}", "missing required field")
+    value = mapping[key]
+    if types is not None and not isinstance(value, types):
+        raise ConfigError(
+            f"{path}.{key}",
+            f"expected {getattr(types, '__name__', types)}, got {type(value).__name__}",
+        )
+    return value
+
+
+def validate_spec(spec):
+    """Validate a deployment spec; raises :class:`ConfigError`."""
+    if not isinstance(spec, dict):
+        raise ConfigError("$", "spec must be a mapping")
+    machines = _require(spec, "machines", "$", list)
+    if not machines:
+        raise ConfigError("$.machines", "at least one machine is required")
+    machine_names = set()
+    for index, machine in enumerate(machines):
+        path = f"$.machines[{index}]"
+        name = _require(machine, "name", path, str)
+        _require(machine, "address", path, str)
+        if name in machine_names:
+            raise ConfigError(f"{path}.name", f"duplicate machine {name!r}")
+        machine_names.add(name)
+
+    pairs = _require(spec, "pairs", "$", list)
+    pair_names = set()
+    service_addrs = set()
+    for index, pair in enumerate(pairs):
+        path = f"$.pairs[{index}]"
+        name = _require(pair, "name", path, str)
+        if name in pair_names:
+            raise ConfigError(f"{path}.name", f"duplicate pair {name!r}")
+        pair_names.add(name)
+        for side in ("primary", "backup"):
+            machine = _require(pair, side, path, str)
+            if machine not in machine_names:
+                raise ConfigError(f"{path}.{side}", f"unknown machine {machine!r}")
+        if pair["primary"] == pair["backup"]:
+            raise ConfigError(
+                path, "primary and backup must be different machines"
+                " (the whole point of the pair)"
+            )
+        addr = _require(pair, "service_addr", path, str)
+        if addr in service_addrs:
+            raise ConfigError(f"{path}.service_addr", f"duplicate address {addr!r}")
+        service_addrs.add(addr)
+        _require(pair, "local_as", path, int)
+        _require(pair, "router_id", path, str)
+        neighbors = _require(pair, "neighbors", path, list)
+        if not neighbors:
+            raise ConfigError(f"{path}.neighbors", "a pair needs >= 1 neighbor")
+        for n_index, neighbor in enumerate(neighbors):
+            n_path = f"{path}.neighbors[{n_index}]"
+            _require(neighbor, "remote_addr", n_path, str)
+            _require(neighbor, "remote_as", n_path, int)
+            mode = neighbor.get("mode", "passive")
+            if mode not in ("active", "passive"):
+                raise ConfigError(f"{n_path}.mode", f"bad mode {mode!r}")
+
+    for index, remote in enumerate(spec.get("remotes", ())):
+        path = f"$.remotes[{index}]"
+        _require(remote, "name", path, str)
+        _require(remote, "address", path, str)
+        _require(remote, "asn", path, int)
+        for link in remote.get("links", ()):
+            if link not in machine_names:
+                raise ConfigError(f"{path}.links", f"unknown machine {link!r}")
+        peer = remote.get("peer")
+        if peer is not None:
+            _require(peer, "gateway", f"{path}.peer", str)
+            _require(peer, "gateway_as", f"{path}.peer", int)
+
+    tech = spec.get("hook_technology", "netfilter")
+    if tech not in ("netfilter", "ebpf"):
+        raise ConfigError("$.hook_technology", f"unknown technology {tech!r}")
+    remote_db = spec.get("remote_db")
+    if remote_db is not None:
+        _require(remote_db, "latency", "$.remote_db", (int, float))
+        if remote_db.get("mode", "sync") not in ("sync", "async"):
+            raise ConfigError("$.remote_db.mode", "must be 'sync' or 'async'")
+    return spec
+
+
+def build_system(spec, start=True):
+    """Build (system, pairs, remotes) from a validated spec.
+
+    ``start=True`` also boots every pair and remote; advance the engine
+    afterwards to let sessions establish.
+    """
+    validate_spec(spec)
+    system = TensorSystem(
+        seed=spec.get("seed", 0),
+        verify_reads=spec.get("verify_reads", True),
+        hold_acks=spec.get("hold_acks", True),
+        hook_technology=spec.get("hook_technology", "netfilter"),
+        remote_db=spec.get("remote_db"),
+    )
+    machines = {}
+    for machine_spec in spec["machines"]:
+        machines[machine_spec["name"]] = system.add_machine(
+            machine_spec["name"], machine_spec["address"]
+        )
+    pairs = {}
+    for pair_spec in spec["pairs"]:
+        neighbors = [
+            PeerNeighborSpec(
+                neighbor["remote_addr"],
+                neighbor["remote_as"],
+                vrf_name=neighbor.get("vrf", "default"),
+                mode=neighbor.get("mode", "passive"),
+                hold_time=neighbor.get("hold_time", 90),
+                keepalive_interval=neighbor.get("keepalive_interval", 30),
+                bfd=neighbor.get("bfd", True),
+            )
+            for neighbor in pair_spec["neighbors"]
+        ]
+        pairs[pair_spec["name"]] = system.create_pair(
+            pair_spec["name"],
+            machines[pair_spec["primary"]],
+            machines[pair_spec["backup"]],
+            service_addr=pair_spec["service_addr"],
+            local_as=pair_spec["local_as"],
+            router_id=pair_spec["router_id"],
+            neighbors=neighbors,
+            config_entries=pair_spec.get("config_entries", 100),
+            preheat_backup=pair_spec.get("preheat_backup", True),
+        )
+    remotes = {}
+    for remote_spec in spec.get("remotes", ()):
+        remote = build_remote_peer(
+            system,
+            remote_spec["name"],
+            remote_spec["address"],
+            remote_spec["asn"],
+            link_machines=[machines[name] for name in remote_spec.get("links", ())],
+        )
+        peer = remote_spec.get("peer")
+        if peer is not None:
+            remote.peer_with(
+                peer["gateway"],
+                peer["gateway_as"],
+                vrf_name=peer.get("vrf", "default"),
+                mode=peer.get("mode", "active"),
+            )
+        remotes[remote_spec["name"]] = remote
+    if start:
+        for pair in pairs.values():
+            pair.start()
+        for remote in remotes.values():
+            remote.start()
+    return system, pairs, remotes
+
+
+def load_json(path, start=True):
+    """Build a system from a JSON spec file."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    return build_system(spec, start=start)

@@ -1,0 +1,24 @@
+"""Lightweight virtualization substrate: containers, hosts, underlay.
+
+§3.2's architecture: one BGP process + one BFD process per container, a
+primary/backup container pair on different host machines, VXLAN kept on
+the host and bound to the container's VRF through a vEth pair and a
+bridge, and per-container resource accounting (Fig. 6(d)).
+"""
+
+from repro.containers.container import Container, ContainerState
+from repro.containers.host import HostMachine, ProcessMonitor
+from repro.containers.underlay import Bridge, Underlay, VethPair, VxlanSegment
+from repro.containers.resources import ResourceModel
+
+__all__ = [
+    "Container",
+    "ContainerState",
+    "HostMachine",
+    "ProcessMonitor",
+    "Underlay",
+    "VxlanSegment",
+    "VethPair",
+    "Bridge",
+    "ResourceModel",
+]

@@ -1,0 +1,123 @@
+"""gRPC-style channels: health servers and heartbeat clients.
+
+"the controller will set up gRPC channels to all the containers, their
+host machines, and the agent server.  The gRPC channels will send gRPC
+heartbeats for health monitoring." (§3.3.2)
+"""
+
+import itertools
+
+from repro.sim.calibration import GRPC_HEARTBEAT_INTERVAL, GRPC_HEARTBEAT_TIMEOUT
+from repro.sim.process import Process
+from repro.sim.rpc import RpcClient, RpcServer
+
+GRPC_PORT_BASE = 50051
+_port_counter = itertools.count(0)
+
+
+class HealthServer:
+    """The gRPC health endpoint running on a monitored entity.
+
+    ``status_fn()`` returns a dict (process states etc.) included in every
+    heartbeat reply; the controller's application-layer management reads
+    it.
+    """
+
+    def __init__(self, engine, host, status_fn=None, port=GRPC_PORT_BASE):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.status_fn = status_fn or (lambda: {})
+        self.rpc = RpcServer(engine, host, port, self._handle, protocol="grpc")
+
+    def _handle(self, method, _body):
+        if method == "health":
+            return {"ok": True, "status": self.status_fn()}
+        return {"ok": False}
+
+    def close(self):
+        self.rpc.close()
+
+
+class GrpcChannel:
+    """A controller-side heartbeat channel to one health server.
+
+    After ``miss_threshold`` consecutive timeouts the channel reports
+    unhealthy via ``on_unhealthy(channel)``; a later success reports
+    ``on_healthy(channel)``.  Healthy replies stream their status dict to
+    ``on_status(channel, status)``.
+    """
+
+    def __init__(
+        self,
+        engine,
+        local_host,
+        target_name,
+        target_addr,
+        target_port=GRPC_PORT_BASE,
+        interval=GRPC_HEARTBEAT_INTERVAL,
+        timeout=GRPC_HEARTBEAT_TIMEOUT,
+        miss_threshold=2,
+        on_unhealthy=None,
+        on_healthy=None,
+        on_status=None,
+    ):
+        self.engine = engine
+        self.target_name = target_name
+        self.target_addr = target_addr
+        self.interval = interval
+        self.timeout = timeout
+        self.miss_threshold = miss_threshold
+        self.on_unhealthy = on_unhealthy
+        self.on_healthy = on_healthy
+        self.on_status = on_status
+        self.client = RpcClient(engine, local_host, target_addr, target_port, protocol="grpc")
+        self.process = Process(engine, f"grpc:{target_name}")
+        self.consecutive_misses = 0
+        self.healthy = True
+        self.last_status = {}
+        self.last_reply_at = None
+        self._task = None
+
+    def start(self):
+        self._task = self.process.every(self.interval, self._beat)
+
+    def _beat(self):
+        self.client.call(
+            "health",
+            {},
+            on_reply=self._on_reply,
+            on_timeout=self._on_miss,
+            timeout=self.timeout,
+        )
+
+    def _on_reply(self, reply):
+        self.consecutive_misses = 0
+        self.last_reply_at = self.engine.now
+        self.last_status = reply.get("status", {})
+        if not self.healthy:
+            self.healthy = True
+            if self.on_healthy is not None:
+                self.on_healthy(self)
+        if self.on_status is not None:
+            self.on_status(self, self.last_status)
+
+    def _on_miss(self):
+        self.consecutive_misses += 1
+        if self.healthy and self.consecutive_misses >= self.miss_threshold:
+            self.healthy = False
+            if self.on_unhealthy is not None:
+                self.on_unhealthy(self)
+
+    def stop(self):
+        self.process.kill()
+        self.client.close()
+
+    def __repr__(self):
+        state = "healthy" if self.healthy else "UNHEALTHY"
+        return f"<GrpcChannel to {self.target_name} {state}>"
+
+
+def next_grpc_port():
+    """Distinct port per health server co-hosted on one endpoint."""
+    return GRPC_PORT_BASE + next(_port_counter) % 1000

@@ -1,0 +1,248 @@
+"""The TKE-based controller (§3.2.2, §3.3.3).
+
+Logically centralized: it owns the gRPC channels to every machine,
+container and the agent server, receives the aggregated failure signals
+through the :class:`~repro.control.detector.FailureDetector`, decides the
+recovery action, and drives it on the registered container *pairs*.
+
+Pairs are TENSOR-specific objects (see :mod:`repro.core.system`) exposing
+a small interface:
+
+- ``name``
+- ``primary_machine_name`` / ``backup_machine_name``
+- ``primary_container_name``
+- ``restart_application(record, on_done)``   (E1: reboot in place)
+- ``activate_backup(record, on_done, cold)`` (E2/E4/E3/E5: NSR migration)
+"""
+
+from repro.control.channels import GrpcChannel, HealthServer, next_grpc_port
+from repro.control.detector import FailureDetector
+from repro.control.fencing import FencingRegistry
+from repro.control.migration import MigrationRecord
+from repro.sim.calibration import (
+    CONTROLLER_DECISION_TIME,
+    CONTROLLER_DECISION_TIME_MACHINE,
+    HOST_MIGRATION_STAGGER,
+)
+from repro.sim.process import Process
+
+
+class Controller:
+    """The cluster controller."""
+
+    def __init__(self, engine, host, fencing=None):
+        self.engine = engine
+        self.host = host  # controller's network endpoint
+        self.process = Process(engine, "controller")
+        self.detector = FailureDetector(engine, self._on_failure)
+        # explicit None-check: an empty registry is falsy (it has __len__)
+        self.fencing = fencing if fencing is not None else FencingRegistry(engine)
+        self.machines = {}  # name -> HostMachine
+        self.pairs = {}  # name -> pair object
+        self._machine_channels = {}
+        self._container_channels = {}
+        self.records = []
+        self.events = []
+        self._recovering = set()
+        self.failure_hooks = []  # fn(report) observers (tests/benchmarks)
+
+    # ------------------------------------------------------------------
+    # registration / wiring
+    # ------------------------------------------------------------------
+
+    def register_machine(self, machine, health_port=None):
+        """Track a machine: gRPC channel + its Docker-monitor events."""
+        self.machines[machine.name] = machine
+        port = health_port if health_port is not None else next_grpc_port()
+        HealthServer(
+            self.engine,
+            machine.host,
+            status_fn=lambda m=machine: _machine_status(m),
+            port=port,
+        )
+        channel = GrpcChannel(
+            self.engine,
+            self.host,
+            machine.name,
+            machine.address,
+            target_port=port,
+            on_unhealthy=lambda ch: self.detector.note_machine_grpc(ch.target_name, False),
+            on_healthy=lambda ch: self.detector.note_machine_grpc(ch.target_name, True),
+            on_status=lambda ch, status: self.detector.note_machine_status(
+                ch.target_name, status
+            ),
+        )
+        channel.start()
+        self._machine_channels[machine.name] = channel
+        return channel
+
+    def register_container_channel(self, container, machine):
+        """gRPC channel to one container's management endpoint."""
+        if container.endpoint is None:
+            raise RuntimeError(f"container {container.name} has no endpoint (not booted)")
+        port = next_grpc_port()
+        HealthServer(
+            self.engine,
+            container.endpoint,
+            status_fn=lambda c=container: _container_status(c),
+            port=port,
+        )
+        channel = GrpcChannel(
+            self.engine,
+            self.host,
+            container.name,
+            container.endpoint.address,
+            target_port=port,
+            on_unhealthy=lambda ch: self.detector.note_container_grpc(
+                ch.target_name, False, machine.name
+            ),
+            on_healthy=lambda ch: self.detector.note_container_grpc(
+                ch.target_name, True, machine.name
+            ),
+        )
+        channel.start()
+        self._container_channels[container.name] = channel
+        return channel
+
+    def register_pair(self, pair):
+        self.pairs[pair.name] = pair
+
+    def docker_event(self, kind, container, detail):
+        """Entry point for ProcessMonitor events forwarded over gRPC."""
+        if kind == "container-dead":
+            self.detector.note_container_dead(container.name)
+        elif kind == "process-dead":
+            self.detector.note_process_dead(
+                container.name, detail, container.machine.name
+            )
+
+    # ------------------------------------------------------------------
+    # failure handling (§3.3.3)
+    # ------------------------------------------------------------------
+
+    def _on_failure(self, report):
+        self.events.append((self.engine.now, "failure-report", report))
+        for hook in self.failure_hooks:
+            hook(report)
+        if report.kind == "machine_unreachable":
+            self._handle_machine_failure(report)
+        else:
+            self._handle_container_level_failure(report)
+
+    def _handle_container_level_failure(self, report):
+        pair = self._pair_of_container(report.target_name)
+        if pair is None or pair.name in self._recovering:
+            return
+        self._recovering.add(pair.name)
+        record = MigrationRecord(report.kind, report.target_name)
+        record.detected_at = report.confirmed_at
+        self.records.append(record)
+        self.process.after(
+            CONTROLLER_DECISION_TIME, self._initiate_container_recovery, pair, record, report
+        )
+
+    def _initiate_container_recovery(self, pair, record, report):
+        record.initiated_at = self.engine.now
+        done = lambda: self._recovery_done(pair, record)
+        if report.kind == "application":
+            record.note("in-place application restart")
+            pair.restart_application(record, done)
+        else:
+            if report.kind == "container_network":
+                # "the controller will kill the primary container through
+                #  TKE while starting the BGP NSR migration"
+                record.note("killing primary container via TKE")
+                pair.kill_primary_container()
+            record.note("NSR migration to backup container")
+            pair.activate_backup(record, done, cold=False)
+
+    def _handle_machine_failure(self, report):
+        machine_name = report.target_name
+        # Fencing first: the machine must never answer for service
+        # addresses again until manually reset (split-brain guard).
+        self.fencing.fence(machine_name)
+        affected = [
+            pair
+            for pair in self.pairs.values()
+            if pair.primary_machine_name == machine_name
+            and pair.name not in self._recovering
+        ]
+        self.events.append(
+            (self.engine.now, "machine-migration", (machine_name, len(affected)))
+        )
+        for index, pair in enumerate(affected):
+            self._recovering.add(pair.name)
+            record = MigrationRecord("machine", pair.primary_container_name)
+            record.detected_at = report.confirmed_at
+            self.records.append(record)
+            delay = CONTROLLER_DECISION_TIME_MACHINE + index * HOST_MIGRATION_STAGGER
+            self.process.after(
+                delay, self._initiate_machine_recovery, pair, record
+            )
+
+    def _initiate_machine_recovery(self, pair, record):
+        record.initiated_at = self.engine.now
+        record.note("mass NSR migration after machine failure")
+        pair.activate_backup(
+            record, lambda: self._recovery_done(pair, record), cold=True
+        )
+
+    def _recovery_done(self, pair, record):
+        if record.recovered_at is None:
+            record.recovered_at = self.engine.now
+        self._recovering.discard(pair.name)
+        self.events.append((self.engine.now, "recovery-done", pair.name))
+
+    def _pair_of_container(self, container_name):
+        for pair in self.pairs.values():
+            if pair.primary_container_name == container_name:
+                return pair
+        return None
+
+    # ------------------------------------------------------------------
+
+    def manual_reset_machine(self, machine_name):
+        """Operator unfences a repaired machine (§3.3.3).
+
+        The reset is a reimage: every container that was running when the
+        machine was fenced is stopped first.  Without this, a zombie BGP
+        process from before the failure would come back online with the
+        machine and fight the migrated active — the exact split-brain the
+        fencing rule exists to prevent.
+        """
+        machine = self.machines.get(machine_name)
+        if machine is not None:
+            for container in machine.containers.values():
+                if container.running:
+                    container.stop()
+            if machine.monitor is not None:
+                machine.monitor.clear_reported()
+        self.fencing.manual_reset(machine_name)
+        self.detector.reset_target(machine_name)
+
+    def completed_records(self):
+        return [r for r in self.records if r.complete]
+
+
+def _machine_status(machine):
+    return {
+        "containers": {
+            name: {
+                "running": container.running,
+                "processes": {
+                    pname: container.process_alive(pname)
+                    for pname in container.processes
+                },
+            }
+            for name, container in machine.containers.items()
+        },
+    }
+
+
+def _container_status(container):
+    return {
+        "running": container.running,
+        "processes": {
+            name: container.process_alive(name) for name in container.processes
+        },
+    }

@@ -1,0 +1,35 @@
+"""Fencing: the split-brain guard on failed machines.
+
+§3.3.3: "once we decide to migrate, the original server will not be
+re-used before a manual reset — even if it goes back online before that —
+to avoid split-brain issues or oscillations."
+"""
+
+
+class FencingRegistry:
+    """Tracks which machines are fenced (banned from hosting actives)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._fenced = {}  # machine_name -> fenced_at
+        self.history = []  # (time, action, machine_name)
+
+    def fence(self, machine_name):
+        if machine_name not in self._fenced:
+            self._fenced[machine_name] = self.engine.now
+            self.history.append((self.engine.now, "fence", machine_name))
+
+    def is_fenced(self, machine_name):
+        return machine_name in self._fenced
+
+    def manual_reset(self, machine_name):
+        """Operator-driven unfence after repair and inspection."""
+        if machine_name in self._fenced:
+            del self._fenced[machine_name]
+            self.history.append((self.engine.now, "reset", machine_name))
+
+    def fenced_machines(self):
+        return sorted(self._fenced)
+
+    def __len__(self):
+        return len(self._fenced)

@@ -1,0 +1,47 @@
+"""TENSOR core: kernel-free replicated BGP NSR (§3).
+
+The pieces map one-to-one onto the paper's design:
+
+- :mod:`~repro.core.replication` — the key schema, the write pipeline to
+  the KV store, message pruning and routing-table deltas (§3.1.2
+  "Outgoing BGP messages", "Storage overhead", "BGP routing tables").
+- :mod:`~repro.core.ack_matching` — the ``tcp_queue`` thread: NFQUEUE
+  consumer that holds outgoing TCP ACKs until the matching message is
+  durably replicated (§3.1.2 "Intercepting packets", "Matching ACK
+  numbers").
+- :mod:`~repro.core.tensor_process` — the TENSOR BGP process: a
+  :class:`~repro.bgp.speaker.BgpSpeaker` with replication interposed on
+  its receive, send and keepalive paths.
+- :mod:`~repro.core.recovery` — backup-side reconstruction: TCP repair
+  from the database plus routing-table restoration (no message replay).
+- :mod:`~repro.core.agent` — the agent server: BFD relays + IP SLA
+  probes (§3.3.2).
+- :mod:`~repro.core.splitting` — BGP splitting and joint containers
+  (§3.2.4).
+- :mod:`~repro.core.system` — full-system assembly: machines, pairs,
+  controller, database, underlay.
+"""
+
+from repro.core.replication import ConnectionKeys, ReplicationPipeline, WriteCoalescer
+from repro.core.ack_matching import TcpQueueThread
+from repro.core.tensor_process import TensorBgpSpeaker
+from repro.core.recovery import BackupRecovery, RecoveredState
+from repro.core.agent import AgentServer
+from repro.core.splitting import JointContainerSpec, SplitPlan, plan_split
+from repro.core.system import TensorPair, TensorSystem
+
+__all__ = [
+    "ConnectionKeys",
+    "ReplicationPipeline",
+    "WriteCoalescer",
+    "TcpQueueThread",
+    "TensorBgpSpeaker",
+    "BackupRecovery",
+    "RecoveredState",
+    "AgentServer",
+    "SplitPlan",
+    "JointContainerSpec",
+    "plan_split",
+    "TensorPair",
+    "TensorSystem",
+]

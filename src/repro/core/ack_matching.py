@@ -1,0 +1,190 @@
+"""The ``tcp_queue`` thread: delayed acknowledgments via NFQUEUE.
+
+§3.1.2: "TENSOR introduces another thread named tcp_queue.  This thread
+accepts the TCP ACK packets re-routed by Netfilter and holds them in a
+FIFO queue until it confirms that the messages are properly replicated.
+... tcp_queue releases any held-up TCP ACK packet whenever the
+corresponding message has been properly replicated in the database."
+
+The matching uses inferred ACK numbers: the main thread writes each
+message's inferred ACK number with the record; ``tcp_queue`` verifies the
+record exists in the database (a read — the source of TENSOR's small
+receive-side overhead, §4.2) and then releases every held ACK whose ACK
+number is covered.
+"""
+
+from repro.netfilter import Rule, Verdict
+
+TENSOR_ACK_QUEUE = 1
+
+
+def _is_pure_ack(segment):
+    return (
+        segment.has_ack
+        and not segment.payload
+        and not segment.syn
+        and not segment.fin
+        and not segment.rst
+    )
+
+
+class TcpQueueThread:
+    """One per TENSOR BGP process; consumes the process's NFQUEUE."""
+
+    def __init__(self, engine, pipeline, verify_reads=True):
+        self.engine = engine
+        self.pipeline = pipeline
+        self.verify_reads = verify_reads
+        self._conns = {}  # (local_port, remote_addr, remote_port) -> entry
+        self.crashed = False
+        self.acks_held = 0
+        self.acks_released = 0
+        self.acks_dropped_redundant = 0
+        self.verify_read_count = 0
+        self._bound_stacks = []
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+
+    def attach_stack(self, stack):
+        """Bind this thread as the stack's NFQUEUE consumer."""
+        if stack not in self._bound_stacks:
+            stack.nfqueue.bind(TENSOR_ACK_QUEUE, self._on_queued_packet)
+            self._bound_stacks.append(stack)
+
+    def install_for_connection(self, stack, conn, keys):
+        """Install OUTPUT-chain rules for one managed BGP connection.
+
+        Rule 1 re-routes the connection's pure ACKs to our NFQUEUE.
+        Rule 2 drops RST/FIN for the connection — a crashed process must
+        not let the kernel tear the connection down visibly (the backup
+        will adopt it).
+        """
+        self.attach_stack(stack)
+        tup = (conn.local_port, conn.remote_addr, conn.remote_port)
+
+        def match_ack(packet, tup=tup):
+            return (
+                (packet.sport, packet.dst, packet.dport) == tup
+                and _is_pure_ack(packet.payload)
+            )
+
+        def match_teardown(packet, tup=tup):
+            segment = packet.payload
+            return (
+                (packet.sport, packet.dst, packet.dport) == tup
+                and (segment.rst or segment.fin)
+            )
+
+        ack_rule = stack.output_chain.append(
+            Rule(match_ack, Verdict.QUEUE, queue_num=TENSOR_ACK_QUEUE,
+                 comment=f"tensor-ack {keys.conn_id}")
+        )
+        guard_rule = stack.output_chain.append(
+            Rule(match_teardown, Verdict.DROP, comment=f"tensor-guard {keys.conn_id}")
+        )
+        self._conns[tup] = {
+            "keys": keys,
+            "held": [],  # FIFO of (ack_number, QueuedPacket)
+            "confirmed_pos": 0,  # highest ACK number verified in the DB
+            "rules": (ack_rule, guard_rule),
+            "stack": stack,
+        }
+
+    def uninstall_connection(self, conn):
+        tup = (conn.local_port, conn.remote_addr, conn.remote_port)
+        entry = self._conns.pop(tup, None)
+        if entry is not None:
+            for rule in entry["rules"]:
+                entry["stack"].output_chain.delete(rule)
+            for _ack, queued in entry["held"]:
+                queued.drop()
+
+    # ------------------------------------------------------------------
+    # the FIFO queue
+    # ------------------------------------------------------------------
+
+    def _on_queued_packet(self, queued):
+        if self.crashed:
+            # nothing listens on the queue anymore: the kernel drops
+            queued.drop()
+            return
+        packet = queued.packet
+        tup = (packet.sport, packet.dst, packet.dport)
+        entry = self._conns.get(tup)
+        if entry is None:
+            queued.accept()  # unmanaged connection: pass through
+            return
+        ack = packet.payload.ack
+        if ack <= entry["confirmed_pos"]:
+            self.acks_released += 1
+            queued.accept()
+            return
+        entry["held"].append((ack, queued))
+        self.acks_held += 1
+
+    def note_replicated(self, keys, ack_position, record_key):
+        """The main/keepalive thread committed a message record.
+
+        Verify it in the database (unless configured off), then release
+        all held ACKs the position covers.
+        """
+        entry = self._entry_for_keys(keys)
+        if entry is None:
+            return
+        if not self.verify_reads:
+            self._confirm(entry, ack_position)
+            return
+        self.verify_read_count += 1
+        self.pipeline.verify_read(
+            record_key,
+            on_value=lambda value: self._on_verified(entry, ack_position, value),
+            on_error=lambda _m: None,  # DB unreachable: ACKs stay held
+        )
+
+    def _on_verified(self, entry, ack_position, value):
+        if value is None:
+            return  # not actually present: keep holding (fail-safe)
+        self._confirm(entry, ack_position)
+
+    def _confirm(self, entry, ack_position):
+        if ack_position > entry["confirmed_pos"]:
+            entry["confirmed_pos"] = ack_position
+        held = entry["held"]
+        keep = []
+        releasable = []
+        for ack, queued in held:
+            if ack <= entry["confirmed_pos"]:
+                releasable.append((ack, queued))
+            else:
+                keep.append((ack, queued))
+        entry["held"] = keep
+        # Release in ascending ACK order; TCP ACKs are cumulative so only
+        # the newest matters, but in-order release keeps traces readable.
+        releasable.sort(key=lambda pair: pair[0])
+        if releasable:
+            # Only the highest ACK needs the wire; older ones are redundant.
+            for ack, queued in releasable[:-1]:
+                self.acks_dropped_redundant += 1
+                queued.drop()
+            self.acks_released += 1
+            releasable[-1][1].accept()
+
+    def _entry_for_keys(self, keys):
+        for entry in self._conns.values():
+            if entry["keys"].conn_id == keys.conn_id:
+                return entry
+        return None
+
+    def held_count(self):
+        return sum(len(entry["held"]) for entry in self._conns.values())
+
+    def crash(self):
+        """Process death: held ACKs die with us (never released), and any
+        later packet hitting our queue is dropped like an unconsumed
+        kernel NFQUEUE."""
+        self.crashed = True
+        for entry in self._conns.values():
+            entry["held"].clear()
+        self._conns.clear()

@@ -1,0 +1,92 @@
+"""The agent server (§3.3.2-3.3.3).
+
+"We introduce a third node — an agent server — to be the BFD relay
+during the short rebooting/migration interval ...  The agent server runs
+duplicate BFD processes for all the containers on other machines ...
+Since the task on the agent server is simple and lightweight, we do not
+containerize its BFD processes."
+
+The agent also sends IP SLA probes to the containers and host machines
+and reports results to the controller — it is the witness node that
+breaks the two-node split-brain symmetry.
+"""
+
+from repro.bfd.process import BfdRelay
+from repro.control.ipsla import IpSlaProber
+
+
+class AgentServer:
+    """The uncontainerized agent: BFD relays + IP SLA probes."""
+
+    def __init__(self, engine, host, controller=None, rng=None):
+        self.engine = engine
+        self.host = host
+        self.controller = controller
+        self.rng = rng
+        self.relays = {}  # pair_name -> BfdRelay
+        self.prober = IpSlaProber(
+            engine,
+            host,
+            name=f"agent:{host.name}",
+            on_change=self._on_probe_change,
+        )
+        self._target_kinds = {}  # target name -> ("machine"|"container", machine)
+        self.prober.start()
+
+    # ------------------------------------------------------------------
+    # BFD relays
+    # ------------------------------------------------------------------
+
+    def register_relay(self, pair_name, specs):
+        """(Re)start the duplicate BFD transmitters for one pair."""
+        existing = self.relays.get(pair_name)
+        if existing is not None:
+            existing.update_specs(specs)
+            return existing
+        relay = BfdRelay(self.engine, self.host, specs, rng=self.rng)
+        relay.start()
+        self.relays[pair_name] = relay
+        return relay
+
+    def stop_relay(self, pair_name):
+        relay = self.relays.pop(pair_name, None)
+        if relay is not None:
+            relay.stop()
+
+    # ------------------------------------------------------------------
+    # IP SLA probing
+    # ------------------------------------------------------------------
+
+    def probe_machine(self, machine):
+        self._target_kinds[machine.name] = ("machine", machine.name)
+        self.prober.add_target(machine.name, machine.address)
+
+    def probe_container(self, container, machine):
+        self._target_kinds[container.name] = ("container", machine.name)
+        self.prober.add_target(container.name, container.endpoint.address)
+
+    def retarget_container(self, container_name, new_addr):
+        self.prober.retarget(container_name, new_addr)
+
+    def _on_probe_change(self, _prober, target_name, reachable):
+        if self.controller is None:
+            return
+        kind, machine_name = self._target_kinds.get(target_name, (None, None))
+        detector = self.controller.detector
+        if kind == "machine":
+            detector.note_machine_agent_ipsla(target_name, reachable)
+        elif kind == "container":
+            detector.note_container_ipsla(target_name, reachable, machine_name)
+
+    # ------------------------------------------------------------------
+
+    def fail(self):
+        """Agent death.  §3.3.2: "in normal times, the failure of the
+        agent ... will not affect the normal TENSOR functioning"."""
+        self.host.fail()
+        for relay in self.relays.values():
+            relay.stop()
+        self.prober.stop()
+
+    def __repr__(self):
+        return f"<AgentServer {self.host.name} relays={len(self.relays)}>"

@@ -1,0 +1,336 @@
+"""Replication pipeline: key schema, write coalescing, pruning, deltas.
+
+Key schema (§4.1: "the key consists of a 16B VRF prefix, a 36B four-tuple
+identification ... and a 38B identification for the peering AS and the
+client", values are whole BGP messages capped at 4 KB):
+
+    tensor:{pair}:sess:{conn}          session metadata (initial SEQ/ACK,
+                                       addresses, peer AS) — written once
+    tensor:{pair}:tcp:{conn}           watermarks: applied-in position,
+                                       pruned-out position (the "TCP status")
+    tensor:{pair}:msg:{conn}:i:{pos}   one incoming message; pos = stream
+                                       offset after the message
+    tensor:{pair}:msg:{conn}:o:{pos}   one outgoing message
+    tensor:{pair}:rib:{vrf}:d:{seq}    one routing-table delta (the effect
+                                       of one applied UPDATE)
+    tensor:{pair}:rib:{vrf}:s:{chunk}  compacted snapshot chunks
+
+Two channels with separate clients keep latency-critical message
+replication (which gates ACK release) from queueing behind bulk
+routing-table writes:
+
+- **fast**: incoming/outgoing message records, session metadata, the
+  verify reads issued by ``tcp_queue``;
+- **bulk**: RIB deltas, message deletion after application ("we remove
+  the replicated messages that have been applied to routing tables"),
+  watermark updates, periodic compaction.
+"""
+
+from repro.kvstore.locks import LockManager
+
+#: Compact RIB deltas into snapshot chunks past this many deltas per VRF.
+COMPACTION_THRESHOLD = 1024
+#: Routes per snapshot chunk record (keeps values at realistic KV sizes).
+SNAPSHOT_CHUNK_ROUTES = 500
+#: Replication write retries before declaring the database unavailable.
+WRITE_RETRIES = 3
+
+
+class ConnectionKeys:
+    """Key builder for one BGP connection."""
+
+    def __init__(self, pair_name, vrf, local_addr, local_port, remote_addr, remote_port):
+        self.pair_name = pair_name
+        self.vrf = vrf
+        self.conn_id = f"{vrf}|{local_addr}:{local_port}|{remote_addr}:{remote_port}"
+        self._base = f"tensor:{pair_name}"
+
+    @property
+    def session(self):
+        return f"{self._base}:sess:{self.conn_id}"
+
+    @property
+    def tcp_status(self):
+        return f"{self._base}:tcp:{self.conn_id}"
+
+    def message(self, direction, position):
+        return f"{self._base}:msg:{self.conn_id}:{direction}:{position:016d}"
+
+    def message_prefix(self, direction):
+        return f"{self._base}:msg:{self.conn_id}:{direction}:"
+
+    def __repr__(self):
+        return f"<ConnectionKeys {self.conn_id}>"
+
+
+def rib_delta_key(pair_name, vrf, seq):
+    return f"tensor:{pair_name}:rib:{vrf}:d:{seq:016d}"
+
+def rib_snapshot_key(pair_name, vrf, chunk):
+    return f"tensor:{pair_name}:rib:{vrf}:s:{chunk:08d}"
+
+def rib_prefix(pair_name, vrf):
+    return f"tensor:{pair_name}:rib:{vrf}:"
+
+def pair_prefix(pair_name):
+    return f"tensor:{pair_name}:"
+
+
+class WriteCoalescer:
+    """Batches sets/deletes to one KV client, one batch in flight.
+
+    Operations are applied in exact enqueue order: each flush takes the
+    longest prefix of same-kind operations (a run of sets becomes one
+    ``mset``, a run of deletes one ``delete``), so a set enqueued after a
+    delete of the same key can never be eaten by that delete — the
+    property test in tests/test_properties_extra.py pinned this down.
+    Failed batches are retried; persistent unavailability surfaces
+    through ``on_unavailable``, on which the caller keeps ACKs held (the
+    fail-safe direction).
+    """
+
+    def __init__(self, client, max_batch=512, on_unavailable=None):
+        self.client = client
+        self.max_batch = max_batch
+        self.on_unavailable = on_unavailable
+        self._pending = []  # ("set", key, value, cb) | ("delete", key, None, cb)
+        self._in_flight = False
+        self.batches_flushed = 0
+        self.records_written = 0
+        self.records_deleted = 0
+        self.failures = 0
+
+    def set(self, key, value, on_done=None):
+        self._pending.append(("set", key, value, on_done))
+        self._maybe_flush()
+
+    def delete(self, key, on_done=None):
+        self._pending.append(("delete", key, None, on_done))
+        self._maybe_flush()
+
+    @property
+    def backlog(self):
+        return len(self._pending)
+
+    def _maybe_flush(self):
+        if not self._in_flight and self._pending:
+            self._in_flight = True
+            self._flush_run()
+
+    def _take_run(self):
+        """Pop the longest same-kind prefix of the queue (<= max_batch)."""
+        kind = self._pending[0][0]
+        count = 0
+        for op in self._pending:
+            if op[0] != kind or count >= self.max_batch:
+                break
+            count += 1
+        run, self._pending = self._pending[:count], self._pending[count:]
+        return kind, run
+
+    def _flush_run(self):
+        if not self._pending:
+            self._in_flight = False
+            return
+        kind, run = self._take_run()
+        if kind == "set":
+            self._issue_sets(run, retries=WRITE_RETRIES)
+        else:
+            self._issue_deletes(run, retries=WRITE_RETRIES)
+
+    def _issue_sets(self, run, retries):
+        items = [(key, value) for _kind, key, value, _cb in run]
+
+        def on_done():
+            self.batches_flushed += 1
+            self.records_written += len(run)
+            for _kind, _key, _value, callback in run:
+                if callback is not None:
+                    callback()
+            self._flush_run()
+
+        def on_error(_method):
+            self.failures += 1
+            if retries > 0:
+                self._issue_sets(run, retries - 1)
+            else:
+                self._give_up(len(run))
+
+        self.client.mset(items, on_done=on_done, on_error=on_error)
+
+    def _issue_deletes(self, run, retries):
+        keys = [key for _kind, key, _value, _cb in run]
+
+        def on_done(_removed):
+            self.batches_flushed += 1
+            self.records_deleted += len(run)
+            for _kind, _key, _value, callback in run:
+                if callback is not None:
+                    callback()
+            self._flush_run()
+
+        def on_error(_method):
+            self.failures += 1
+            if retries > 0:
+                self._issue_deletes(run, retries - 1)
+            else:
+                self._give_up(len(run))
+
+        self.client.delete(keys, on_done=on_done, on_error=on_error)
+
+    def _give_up(self, dropped):
+        """Database unavailable: stop retrying, keep the system fail-safe."""
+        self._in_flight = False
+        if self.on_unavailable is not None:
+            self.on_unavailable(dropped)
+
+
+class ReplicationPipeline:
+    """The TENSOR process's view of the database.
+
+    Owns the fast and bulk coalescers, the per-connection message locks
+    (§3.1.2: main and keepalive threads both write; ordering is required
+    only *within* a connection), RIB delta sequencing and compaction.
+    """
+
+    def __init__(self, pair_name, fast_client, bulk_client, on_unavailable=None,
+                 remote_client=None, remote_mode="sync"):
+        self.pair_name = pair_name
+        self.fast = WriteCoalescer(fast_client, on_unavailable=on_unavailable)
+        self.bulk = WriteCoalescer(bulk_client, on_unavailable=on_unavailable)
+        self.fast_client = fast_client
+        self.bulk_client = bulk_client
+        # §5 "Remote replication for disaster recovery": an optional second
+        # store in another facility.  "sync" gates ACK release on the
+        # remote commit too (safe, slow — Fig. 5(a) shows why); "async"
+        # fires and forgets (fast, loses the most recent messages in a
+        # true disaster).
+        if remote_mode not in ("sync", "async"):
+            raise ValueError(f"unknown remote_mode {remote_mode!r}")
+        self.remote = (
+            WriteCoalescer(remote_client, on_unavailable=on_unavailable)
+            if remote_client is not None
+            else None
+        )
+        self.remote_mode = remote_mode
+        self.locks = LockManager()
+        self._delta_seq = {}  # vrf -> next delta sequence number
+        self._delta_live = {}  # vrf -> count of live (uncompacted) deltas
+        self._delta_floor = {}  # vrf -> first live delta seq
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # message replication (fast channel, per-connection ordering)
+    # ------------------------------------------------------------------
+
+    def replicate_message(self, keys, direction, position, record, on_committed):
+        """Write one message record; ``on_committed`` fires when durable.
+
+        The per-connection lock serializes enqueueing from the main and
+        keepalive threads, preserving intra-connection write order while
+        leaving different connections concurrent.
+        """
+        lock_key = keys.conn_id
+        record_key = keys.message(direction, position)
+
+        def enqueue():
+            if self.remote is None:
+                self.fast.set(
+                    record_key, record,
+                    on_done=lambda: self._committed(lock_key, on_committed),
+                )
+                return
+            if self.remote_mode == "async":
+                self.remote.set(record_key, record)
+                self.fast.set(
+                    record_key, record,
+                    on_done=lambda: self._committed(lock_key, on_committed),
+                )
+                return
+            # sync: both stores must commit before the ACK may be released
+            pending = {"count": 2}
+
+            def one_done():
+                pending["count"] -= 1
+                if pending["count"] == 0:
+                    self._committed(lock_key, on_committed)
+
+            self.fast.set(record_key, record, on_done=one_done)
+            self.remote.set(record_key, record, on_done=one_done)
+
+        self.locks.acquire(lock_key, owner=(direction, position), granted=enqueue)
+
+    def _committed(self, lock_key, on_committed):
+        holder = self.locks.holder(lock_key)
+        self.locks.release(lock_key, holder)
+        on_committed()
+
+    def write_session_record(self, keys, record, on_done=None):
+        self.fast.set(keys.session, record, on_done=on_done)
+
+    def verify_read(self, key, on_value, on_error=None):
+        """tcp_queue's confirmation read before releasing an ACK."""
+        self.fast_client.get(key, on_done=on_value, on_error=on_error)
+
+    # ------------------------------------------------------------------
+    # application-side pruning and RIB deltas (bulk channel)
+    # ------------------------------------------------------------------
+
+    def record_rib_delta(self, vrf, delta, on_done=None):
+        """Persist the effect of one applied UPDATE message.
+
+        ``delta`` is ``{"announce": [(prefix_str, attrs_wire, peer_id)],
+        "withdraw": [(prefix_str, peer_id)], "in_pos": int}``.
+        """
+        seq = self._delta_seq.get(vrf, 0)
+        self._delta_seq[vrf] = seq + 1
+        self._delta_live[vrf] = self._delta_live.get(vrf, 0) + 1
+        self._delta_floor.setdefault(vrf, 0)
+        self.bulk.set(rib_delta_key(self.pair_name, vrf, seq), delta, on_done=on_done)
+        return seq
+
+    def delete_message(self, keys, direction, position, on_done=None):
+        """Prune an applied (or remote-acknowledged) message record."""
+        self.bulk.delete(keys.message(direction, position), on_done=on_done)
+
+    def update_tcp_status(self, keys, status, on_done=None):
+        self.bulk.set(keys.tcp_status, status, on_done=on_done)
+
+    # ------------------------------------------------------------------
+    # compaction (bounds storage and recovery work)
+    # ------------------------------------------------------------------
+
+    def needs_compaction(self, vrf, threshold=COMPACTION_THRESHOLD):
+        return self._delta_live.get(vrf, 0) >= threshold
+
+    def compact(self, vrf, loc_rib, on_done=None):
+        """Replace accumulated deltas with chunked snapshot records."""
+        self.compactions += 1
+        entries = loc_rib.export_entries()
+        chunks = [
+            entries[i : i + SNAPSHOT_CHUNK_ROUTES]
+            for i in range(0, len(entries), SNAPSHOT_CHUNK_ROUTES)
+        ] or [[]]
+        for index, chunk in enumerate(chunks):
+            self.bulk.set(rib_snapshot_key(self.pair_name, vrf, index), chunk)
+        # Snapshot marker: how many chunks are current; readers ignore stale
+        # higher-numbered chunks from earlier, larger snapshots.
+        marker = {"chunks": len(chunks), "delta_floor": self._delta_seq.get(vrf, 0)}
+        floor = self._delta_floor.get(vrf, 0)
+        ceiling = self._delta_seq.get(vrf, 0)
+        self.bulk.set(
+            f"tensor:{self.pair_name}:rib:{vrf}:marker",
+            marker,
+            on_done=lambda: self._purge_deltas(vrf, floor, ceiling, on_done),
+        )
+
+    def _purge_deltas(self, vrf, floor, ceiling, on_done):
+        for seq in range(floor, ceiling):
+            self.bulk.delete(rib_delta_key(self.pair_name, vrf, seq))
+        self._delta_live[vrf] = 0
+        self._delta_floor[vrf] = ceiling
+        if on_done is not None:
+            on_done()
+
+    def backlog(self):
+        return self.fast.backlog + self.bulk.backlog

@@ -1,0 +1,630 @@
+"""Full-system assembly: machines, pairs, controller, database, agent.
+
+:class:`TensorSystem` builds the cluster of Figure 3: gateway host
+machines running primary/backup container pairs, the logically
+centralized controller, the agent server with its BFD relays and IP SLA
+probes, the KV database, and the VXLAN underlay binding each pair's
+service address to whichever container is active.
+
+:class:`TensorPair` is one primary/backup container pair and implements
+the recovery actions the controller drives (in-place application restart
+for E1; NSR migration for E2/E4 and machine-level failures).
+"""
+
+from repro.bfd.packet import BfdState
+from repro.bfd.process import BfdProcess
+from repro.bgp.peer import PeerConfig
+from repro.bgp.speaker import SpeakerConfig
+from repro.containers.host import HostMachine, ProcessMonitor
+from repro.control.controller import Controller
+from repro.control.fencing import FencingRegistry
+from repro.control.ipsla import IpSlaProber, IpSlaResponder
+from repro.core.agent import AgentServer
+from repro.core.recovery import BackupRecovery
+from repro.core.replication import ReplicationPipeline
+from repro.core.tensor_process import TensorBgpSpeaker
+from repro.kvstore.client import KvClient
+from repro.kvstore.server import KvServer
+from repro.containers.underlay import Underlay
+from repro.sim.calibration import (
+    APP_MONITOR_INTERVAL,
+    APP_RESTART_TIME,
+    CLUSTER_FABRIC_BANDWIDTH,
+    CLUSTER_FABRIC_LATENCY,
+    PROCESS_START_TIME,
+    TCP_REPAIR_RESUME_TIME,
+)
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rand import DeterministicRandom
+from repro.tcpsim.repair import import_tcp_state, resume_connection
+from repro.tcpsim.stack import TcpStack, TcpStackConfig
+
+
+class PeerNeighborSpec:
+    """One remote BGP neighbour of a pair."""
+
+    def __init__(self, remote_addr, remote_as, vrf_name="default", mode="active",
+                 hold_time=90, keepalive_interval=30, bfd=True):
+        self.remote_addr = remote_addr
+        self.remote_as = remote_as
+        self.vrf_name = vrf_name
+        self.mode = mode
+        self.hold_time = hold_time
+        self.keepalive_interval = keepalive_interval
+        self.bfd = bfd
+
+    def to_peer_config(self):
+        return PeerConfig(
+            self.remote_addr,
+            self.remote_as,
+            vrf_name=self.vrf_name,
+            mode=self.mode,
+            hold_time=self.hold_time,
+            keepalive_interval=self.keepalive_interval,
+        )
+
+
+class TensorSystem:
+    """The whole gateway cluster."""
+
+    def __init__(self, engine=None, seed=0, verify_reads=True, hold_acks=True,
+                 hook_technology="netfilter", remote_db=None):
+        """``remote_db``: None, or {"latency": seconds, "mode": "sync"|"async"}
+        to add a disaster-recovery store in another facility (§5)."""
+        self.engine = engine or Engine()
+        self.rng = DeterministicRandom(seed)
+        self.network = Network(self.engine, self.rng)
+        self.network.enable_fabric(
+            latency=CLUSTER_FABRIC_LATENCY, bandwidth=CLUSTER_FABRIC_BANDWIDTH
+        )
+        self.underlay = Underlay(self.network)
+        self.verify_reads = verify_reads
+        self.hold_acks = hold_acks
+        self.hook_technology = hook_technology
+
+        self.controller_host = self.network.add_host("controller", "10.255.0.1")
+        self.fencing = FencingRegistry(self.engine)
+        self.controller = Controller(self.engine, self.controller_host, self.fencing)
+
+        self.db_host = self.network.add_host("db", "10.254.0.1")
+        self.db = KvServer(self.engine, self.db_host)
+        self.remote_db_spec = remote_db
+        self.remote_db = None
+        self.remote_db_host = None
+        if remote_db is not None:
+            self.remote_db_host = self.network.add_host("remote-db", "10.252.0.1")
+            self.remote_db = KvServer(self.engine, self.remote_db_host)
+
+        self.agent_host = self.network.add_host("agent", "10.253.0.1")
+        IpSlaResponder(self.engine, self.agent_host)
+        self.agent = AgentServer(
+            self.engine, self.agent_host, self.controller, rng=self.rng.stream("agent")
+        )
+
+        self.machines = {}
+        self.pairs = {}
+        self._machine_probers = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def add_machine(self, name, address):
+        machine = HostMachine(self.engine, self.network, name, address)
+        self.machines[name] = machine
+        IpSlaResponder(self.engine, machine.host)
+        self.controller.register_machine(machine)
+        monitor = ProcessMonitor(
+            self.engine, machine, on_event=self.controller.docker_event
+        )
+        monitor.start()
+        if self.remote_db_host is not None:
+            # the inter-facility path: dedicated link with real WAN latency
+            self.network.connect(
+                machine.host, self.remote_db_host,
+                latency=self.remote_db_spec["latency"], bandwidth=10e9,
+            )
+        self.agent.probe_machine(machine)
+        # Inter-machine IP SLA mesh (signal (iii) of §3.3.3).
+        prober = IpSlaProber(
+            self.engine,
+            machine.host,
+            name=f"peer-ipsla:{name}",
+            on_change=self._on_peer_probe_change,
+        )
+        prober.start()
+        for other_name, other in self.machines.items():
+            if other is machine:
+                continue
+            prober.add_target(other_name, other.address)
+            self._machine_probers[other_name].add_target(name, machine.address)
+        self._machine_probers[name] = prober
+        return machine
+
+    def _on_peer_probe_change(self, _prober, target_name, reachable):
+        self.controller.detector.note_machine_peer_ipsla(target_name, reachable)
+
+    def create_pair(self, name, primary_machine, backup_machine, service_addr,
+                    local_as, router_id, neighbors, config_entries=100,
+                    preheat_backup=True, profile="tensor"):
+        pair = TensorPair(
+            self,
+            name,
+            primary_machine,
+            backup_machine,
+            service_addr,
+            local_as,
+            router_id,
+            neighbors,
+            config_entries=config_entries,
+            preheat_backup=preheat_backup,
+            profile=profile,
+        )
+        self.pairs[name] = pair
+        self.controller.register_pair(pair)
+        return pair
+
+    def run(self, duration):
+        self.engine.advance(duration)
+
+
+class TensorPair:
+    """One primary/backup container pair (one BGP process, one BFD)."""
+
+    def __init__(self, system, name, primary_machine, backup_machine, service_addr,
+                 local_as, router_id, neighbors, config_entries=100,
+                 preheat_backup=True, profile="tensor"):
+        self.system = system
+        self.engine = system.engine
+        self.name = name
+        self.service_addr = service_addr
+        self.local_as = local_as
+        self.router_id = router_id
+        self.neighbors = list(neighbors)
+        self.config_entries = config_entries
+        self.preheat_backup = preheat_backup
+        self.profile = profile
+
+        self.active_machine = primary_machine
+        self.standby_machine = backup_machine
+        self.active_container = primary_machine.create_container(
+            f"{name}-a", config_entries
+        )
+        self.standby_container = backup_machine.create_container(
+            f"{name}-b", config_entries
+        )
+
+        self.speaker = None
+        self.bfd = None
+        self.stack = None
+        self.service_endpoint = None
+        self.pipeline = None
+        self._kv_clients = []
+        self.supervisor = None
+        self._suppress_supervision = False
+        self._bfd_disc_registry = {}  # (vrf, remote) -> (my_disc, your_disc)
+        self.activations = 0
+        self.on_bfd_down = None
+
+    # ------------------------------------------------------------------
+    # controller-facing interface
+    # ------------------------------------------------------------------
+
+    @property
+    def primary_machine_name(self):
+        return self.active_machine.name
+
+    @property
+    def backup_machine_name(self):
+        return self.standby_machine.name
+
+    @property
+    def primary_container_name(self):
+        return self.active_container.name
+
+    # ------------------------------------------------------------------
+    # bring-up
+    # ------------------------------------------------------------------
+
+    def start(self, on_ready=None):
+        """Boot the primary, start processes, preheat the backup."""
+        self.active_container.start(
+            on_running=lambda _c: self._activate_fresh(on_ready)
+        )
+        if self.preheat_backup:
+            self.standby_container.start()
+
+    def _activate_fresh(self, on_ready):
+        self._build_runtime(self.active_container, self.active_machine)
+        self.speaker.start()
+        self.bfd.start()
+        self._register_monitoring()
+        self.engine.schedule(0.5, self._register_relay)
+        if on_ready is not None:
+            on_ready(self)
+
+    def _build_runtime(self, container, machine, recovered=False):
+        """Construct stack + pipeline + speaker + BFD inside ``container``."""
+        binding = self.system.underlay.claim(
+            self.service_addr, machine, container, vrf_name="svc"
+        )
+        self.service_endpoint = binding.endpoint
+        self.stack = TcpStack(
+            self.engine,
+            self.service_endpoint,
+            TcpStackConfig(hook_technology=self.system.hook_technology),
+        )
+        fast = KvClient(self.engine, container.endpoint, self.system.db_host.address)
+        bulk = KvClient(self.engine, container.endpoint, self.system.db_host.address)
+        self._kv_clients = [fast, bulk]
+        remote_client = None
+        remote_mode = "sync"
+        if self.system.remote_db is not None:
+            remote_client = KvClient(
+                self.engine, container.endpoint, self.system.remote_db_host.address
+            )
+            remote_mode = self.system.remote_db_spec.get("mode", "sync")
+            self._kv_clients.append(remote_client)
+        self.pipeline = ReplicationPipeline(
+            self.name, fast, bulk,
+            remote_client=remote_client, remote_mode=remote_mode,
+        )
+        self.speaker = TensorBgpSpeaker(
+            self.engine,
+            self.stack,
+            SpeakerConfig(self.name, self.local_as, self.router_id, profile=self.profile),
+            self.pipeline,
+            self.name,
+            verify_reads=self.system.verify_reads,
+            hold_acks=self.system.hold_acks,
+        )
+        self.bfd = BfdProcess(
+            self.engine, self.service_endpoint, rng=self.system.rng.stream(f"bfd:{self.name}")
+        )
+        for neighbor in self.neighbors:
+            if not recovered:
+                self.speaker.add_vrf(neighbor.vrf_name)
+                self.speaker.add_peer(neighbor.to_peer_config())
+            if neighbor.bfd:
+                prior = self._bfd_disc_registry.get((neighbor.vrf_name, neighbor.remote_addr))
+                session = self.bfd.add_session(
+                    neighbor.vrf_name,
+                    neighbor.remote_addr,
+                    on_state_change=self._on_bfd_state,
+                    my_disc=prior[0] if prior else None,
+                    your_disc=prior[1] if prior else 0,
+                    initial_state=BfdState.UP if (recovered and prior) else BfdState.DOWN,
+                )
+                self._bfd_disc_registry[(neighbor.vrf_name, neighbor.remote_addr)] = (
+                    session.my_disc,
+                    session.your_disc,
+                )
+        container.add_process("bgp", _BgpApp(self.speaker, self.stack))
+        container.add_process("bfd", self.bfd)
+
+    def _register_monitoring(self):
+        container = self.active_container
+        if not getattr(container, "_monitoring_registered", False):
+            container._monitoring_registered = True
+            self.system.controller.register_container_channel(
+                container, self.active_machine
+            )
+            IpSlaResponder(self.engine, container.endpoint)
+            self.system.agent.probe_container(container, self.active_machine)
+        else:
+            # re-activation of a container seen before: just repoint the
+            # agent's probe (the responder and channel are still bound)
+            self.system.agent.retarget_container(
+                container.name, container.endpoint.address
+            )
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        self.supervisor = AppSupervisor(self)
+        self.supervisor.start()
+
+    def _register_relay(self):
+        """Ship BFD session specs to the agent (discriminators now known)."""
+        if self.bfd is not None and self.bfd.alive:
+            specs = self.bfd.export_relay_specs()
+            if specs:
+                self.system.agent.register_relay(self.name, specs)
+                # keep the registry's your_disc fresh for recovery
+                for spec in specs:
+                    self._bfd_disc_registry[(spec["vrf"], spec["remote_addr"])] = (
+                        spec["my_disc"],
+                        spec["your_disc"],
+                    )
+
+    def _on_bfd_state(self, session, old, new):
+        if new is BfdState.DOWN and old is BfdState.UP:
+            if self.on_bfd_down is not None:
+                self.on_bfd_down(self, session)
+
+    # ------------------------------------------------------------------
+    # recovery action: in-place application restart (E1)
+    # ------------------------------------------------------------------
+
+    def restart_application(self, record, on_done):
+        self._suppress_supervision = True
+        container = self.active_container
+        # the dead processes' sockets and hooks are gone
+        if self.stack is not None:
+            self.stack.destroy()
+        if self.bfd is not None:
+            self.bfd.crash()
+        self.engine.schedule(
+            APP_RESTART_TIME, self._app_restarted, container, record, on_done
+        )
+
+    def _app_restarted(self, container, record, on_done):
+        if not container.running:
+            return  # the container died meanwhile; controller will re-detect
+        record.rebooted_at = self.engine.now
+        self._build_runtime(container, self.active_machine, recovered=True)
+        self._recover_from_db(record, on_done)
+        if self.active_machine.monitor is not None:
+            self.active_machine.monitor.clear_reported(container.name)
+
+    # ------------------------------------------------------------------
+    # recovery action: NSR migration to the backup (E2/E4/E3/E5)
+    # ------------------------------------------------------------------
+
+    def kill_primary_container(self):
+        self._suppress_supervision = True
+        self.active_container.stop()
+
+    def _standby_machine_healthy(self):
+        machine = self.standby_machine
+        return (
+            machine.alive
+            and machine.host.network_up
+            and not self.system.fencing.is_fenced(machine.name)
+        )
+
+    def _ensure_healthy_standby(self):
+        """Re-home the standby when its machine is fenced or dead.
+
+        The controller guarantees at most one active per address via the
+        underlay; this guarantees the *target* of a migration is a
+        machine that can actually serve.
+        """
+        if self._standby_machine_healthy():
+            return True
+        for machine in self.system.machines.values():
+            if machine is self.active_machine:
+                continue
+            if (machine.alive and machine.host.network_up
+                    and not self.system.fencing.is_fenced(machine.name)):
+                self.standby_machine = machine
+                self.standby_container = machine.create_container(
+                    f"{self.name}-{self.activations + 1}r", self.config_entries
+                )
+                return True
+        return False  # nowhere to go: stay on the (possibly dead) primary
+
+    def activate_backup(self, record, on_done, cold=False):
+        self._suppress_supervision = True
+        if not self._ensure_healthy_standby():
+            record.note("no healthy standby machine available; aborting")
+            return
+        self.activations += 1
+        container = self.standby_container
+        if container.running and not cold:
+            # Preheated: the container is alive; schedule-in + process start.
+            delay = container.boot_time(preheated=True) + PROCESS_START_TIME
+            self.engine.schedule(delay, self._backup_up, record, on_done)
+        else:
+            # Cold start: create/boot the container, then start processes.
+            container.state = type(container.state).CREATED
+            container.start(
+                on_running=lambda _c: self.engine.schedule(
+                    PROCESS_START_TIME, self._backup_up, record, on_done
+                )
+            )
+
+    def _backup_up(self, record, on_done):
+        record.rebooted_at = self.engine.now
+        # Swap roles: the backup becomes the active side.
+        old_container = self.active_container
+        old_machine = self.active_machine
+        self.active_container, self.standby_container = (
+            self.standby_container,
+            self.active_container,
+        )
+        self.active_machine, self.standby_machine = (
+            self.standby_machine,
+            self.active_machine,
+        )
+        self._build_runtime(self.active_container, self.active_machine, recovered=True)
+        self._recover_from_db(record, on_done)
+        self._register_monitoring()
+        self.engine.schedule(0.5, self._register_relay)
+        # Re-provision a standby on the old machine if it is healthy and
+        # not fenced (after machine failures it stays empty until a manual
+        # reset, per the fencing rule).
+        if old_machine.alive and not self.system.fencing.is_fenced(old_machine.name):
+            replacement = old_machine.create_container(
+                f"{self.name}-{self.activations}s", self.config_entries
+            )
+            self.standby_container = replacement
+            if self.preheat_backup:
+                replacement.start()
+        else:
+            self.standby_container = old_container  # dead placeholder
+
+    # ------------------------------------------------------------------
+    # shared recovery tail: download state, repair TCP, resume
+    # ------------------------------------------------------------------
+
+    def _recover_from_db(self, record, on_done):
+        recovery_client = KvClient(
+            self.engine, self.active_container.endpoint, self.system.db_host.address
+        )
+        self._kv_clients.append(recovery_client)
+        recovery = BackupRecovery(self.engine, recovery_client, self.name)
+        estimated = max(self.config_entries, 64)
+        recovery.load(
+            lambda state: self._state_loaded(state, record, on_done),
+            estimated_records=estimated,
+        )
+
+    def _state_loaded(self, state, record, on_done):
+        # Rebuild Loc-RIBs (no message replay).
+        for neighbor in self.neighbors:
+            self.speaker.add_vrf(neighbor.vrf_name)
+        for vrf_name in state.vrf_names():
+            if vrf_name not in self.speaker.vrfs:
+                self.speaker.add_vrf(vrf_name)
+            rebuilt = state.rebuild_loc_rib(
+                vrf_name, self.local_as, self.speaker.config.router_id_int
+            )
+            self.speaker.vrfs[vrf_name].loc_rib = rebuilt
+        # Sessions resume by adoption below — no fresh connects, so the
+        # speaker is marked running without start().  It still listens:
+        # if an adopted session later drops (e.g. a real link failure),
+        # the passive side must accept the peer's reconnection.
+        self.speaker.running = True
+        if any(neighbor.mode == "passive" for neighbor in self.neighbors):
+            self.speaker._ensure_listening()
+        # Adopt each replicated connection.
+        for conn_id, meta in state.sessions.items():
+            repair = state.tcp_repair_state(conn_id)
+            conn = import_tcp_state(self.stack, repair)
+            neighbor = self._neighbor_for(meta)
+            if neighbor is None:
+                continue
+            peer_config = neighbor.to_peer_config()
+            session = self.speaker.adopt_recovered_session(
+                peer_config,
+                conn,
+                meta,
+                in_pos=state.recovered_in_position(conn_id),
+                out_state=state.recovered_out_state(conn_id),
+            )
+            for message_record in state.unapplied_messages(conn_id):
+                self.speaker.apply_recovered_message(session, message_record)
+            # restore the replicated partial-message tail (if any): the TCP
+            # receive position already includes it, so the decoder must too
+            partial_bytes, _upto = state.recovered_partial(conn_id)
+            if partial_bytes:
+                session.decoder.prime(partial_bytes)
+            resume_connection(conn)
+            # announce liveness immediately: repeated migrations inside one
+            # keepalive interval would otherwise keep resetting the timer
+            # and starve the remote's hold timer of traffic
+            self.speaker.keepalive_due(session)
+        # The repair-resume budget covers socket rebuilds and resyncs.
+        self.engine.schedule(
+            TCP_REPAIR_RESUME_TIME, self._recovery_finished, record, on_done
+        )
+
+    def _recovery_finished(self, record, on_done):
+        record.recovered_at = self.engine.now
+        self._suppress_supervision = False
+        if self.supervisor is not None:
+            self.supervisor._reported = False
+        on_done()
+
+    def _neighbor_for(self, meta):
+        for neighbor in self.neighbors:
+            if (
+                neighbor.remote_addr == meta["remote_addr"]
+                and neighbor.vrf_name == meta["vrf"]
+            ):
+                return neighbor
+        return None
+
+    # ------------------------------------------------------------------
+    # failure-injection levers (driven by repro.failures)
+    # ------------------------------------------------------------------
+
+    def inject_application_failure(self):
+        """E1: kill the BGP application (and its sockets) in place."""
+        app = self.active_container.processes.get("bgp")
+        if app is not None:
+            app.crash()
+
+    def inject_container_failure(self):
+        """E2: kill the whole active container."""
+        self.active_container.fail()
+        if self.stack is not None:
+            self.stack.destroy()
+
+    def inject_container_network_failure(self):
+        """E4: the active container's virtual NIC dies; processes live."""
+        self.active_container.fail_network()
+        if self.service_endpoint is not None:
+            self.service_endpoint.fail_network()
+
+    # ------------------------------------------------------------------
+
+    def established_session_count(self):
+        if self.speaker is None:
+            return 0
+        return len(self.speaker.established_sessions())
+
+    def __repr__(self):
+        return f"<TensorPair {self.name} active={self.active_container.name}>"
+
+
+class _BgpApp:
+    """Supervision adapter: one BGP application = speaker + its sockets.
+
+    When the container (or the injector) kills the application, the
+    speaker's timers stop and the TCP stack vanishes with the process —
+    crucially *without* emitting RST/FIN, which the Netfilter guard rule
+    would have dropped anyway.
+    """
+
+    def __init__(self, speaker, stack):
+        self.speaker = speaker
+        self.stack = stack
+
+    @property
+    def alive(self):
+        return self.speaker.running and self.speaker.process.alive
+
+    def crash(self):
+        self.speaker.crash()
+        self.stack.destroy()
+
+    def stop(self):
+        self.crash()
+
+
+class AppSupervisor:
+    """In-container process watchdog (the E1 detector, ~10 ms polls)."""
+
+    def __init__(self, pair, interval=APP_MONITOR_INTERVAL):
+        self.pair = pair
+        self.interval = interval
+        self.process = Process(pair.engine, f"supervisor:{pair.name}")
+        self._reported = False
+
+    def start(self):
+        self.process.every(self.interval, self._poll)
+
+    def _poll(self):
+        pair = self.pair
+        if pair._suppress_supervision or self._reported:
+            return
+        container = pair.active_container
+        if not container.running:
+            return  # container-level failure: the Docker monitor's job
+        for name in ("bgp", "bfd"):
+            if name in container.processes and not container.process_alive(name):
+                self._reported = True
+                # report rides a gRPC hop to the controller
+                pair.engine.schedule(
+                    0.002,
+                    pair.system.controller.docker_event,
+                    "process-dead",
+                    container,
+                    name,
+                )
+                return
+
+    def stop(self):
+        self.process.kill()

@@ -1,0 +1,6 @@
+"""Failure injection: the E1-E5 scenarios of Figure 3 and Table 1."""
+
+from repro.failures.injector import FailureInjector
+from repro.failures.scenarios import SCENARIOS, Scenario
+
+__all__ = ["FailureInjector", "Scenario", "SCENARIOS"]

@@ -1,0 +1,106 @@
+"""The failure injector.
+
+Drives the ground-truth failure levers on a
+:class:`~repro.core.system.TensorSystem` and records injection times so
+benchmarks can compute detection latency (detected_at - injected_at).
+"""
+
+
+class Injection:
+    """One injected failure (ground truth)."""
+
+    def __init__(self, kind, target, injected_at):
+        self.kind = kind
+        self.target = target
+        self.injected_at = injected_at
+
+    def __repr__(self):
+        return f"<Injection {self.kind} {self.target} @{self.injected_at:.3f}>"
+
+
+class FailureInjector:
+    """Injects the paper's failure classes into a running system."""
+
+    def __init__(self, system):
+        self.system = system
+        self.engine = system.engine
+        self.injections = []
+
+    def _record(self, kind, target):
+        injection = Injection(kind, target, self.engine.now)
+        self.injections.append(injection)
+        return injection
+
+    def stamp_records(self):
+        """Fill ground-truth ``failed_at`` into the controller's records.
+
+        Each record gets the injection time of the latest injection at or
+        before its detection time — call after the simulation settles so
+        Table 1 detection latencies are measured from the true failure
+        instant.
+        """
+        for record in self.system.controller.records:
+            if record.failed_at is not None or record.detected_at is None:
+                continue
+            candidates = [
+                injection
+                for injection in self.injections
+                if injection.injected_at <= record.detected_at
+            ]
+            if candidates:
+                record.failed_at = candidates[-1].injected_at
+
+    # -- the four Table 1 scenarios -----------------------------------------
+
+    def application_failure(self, pair):
+        """E1 (3% frequency): the BGP process dies."""
+        injection = self._record("application", pair.name)
+        pair.inject_application_failure()
+        return injection
+
+    def container_failure(self, pair):
+        """E2 (13%): the container dies."""
+        injection = self._record("container", pair.name)
+        pair.inject_container_failure()
+        return injection
+
+    def host_machine_failure(self, machine):
+        """E3 (19%): the host machine dies."""
+        injection = self._record("host_machine", machine.name)
+        machine.fail()
+        return injection
+
+    def host_network_failure(self, machine):
+        """E5 (65%): the host machine's NIC dies; machine keeps running."""
+        injection = self._record("host_network", machine.name)
+        machine.fail_network()
+        return injection
+
+    # -- additional scenarios -------------------------------------------------
+
+    def container_network_failure(self, pair):
+        """E4: the container's virtual network dies; processes live on."""
+        injection = self._record("container_network", pair.name)
+        pair.inject_container_network_failure()
+        return injection
+
+    def transient_host_network_failure(self, machine, duration):
+        """Network jitter: NIC down for ``duration`` then back (§3.3.3:
+        must NOT trigger migration when shorter than the 3 s timer)."""
+        injection = self._record("transient_network", machine.name)
+        machine.fail_network()
+        self.engine.schedule(duration, machine.recover_network)
+        return injection
+
+    def database_failure(self):
+        """The KV store dies (multi-point scenarios are out of scope for
+        NSR, but the ablations exercise the fail-safe: ACKs stay held)."""
+        injection = self._record("database", "db")
+        self.system.db.fail()
+        return injection
+
+    def agent_failure(self):
+        """Agent death — must not affect normal operation (§3.3.2)."""
+        injection = self._record("agent", "agent")
+        self.system.agent.fail()
+        return injection

@@ -1,0 +1,53 @@
+"""The Table 1 scenario library.
+
+Each scenario couples a failure class with its fleet frequency (Table 1)
+and the injector method that produces it.
+"""
+
+
+class Scenario:
+    """One failure scenario."""
+
+    def __init__(self, name, frequency, inject, target_kind):
+        self.name = name
+        self.frequency = frequency
+        self.inject = inject  # fn(injector, pair_or_machine) -> Injection
+        self.target_kind = target_kind  # "pair" | "machine"
+
+    def __repr__(self):
+        return f"<Scenario {self.name} ({self.frequency:.0%})>"
+
+
+SCENARIOS = [
+    Scenario(
+        "application",
+        0.03,
+        lambda injector, pair: injector.application_failure(pair),
+        "pair",
+    ),
+    Scenario(
+        "container",
+        0.13,
+        lambda injector, pair: injector.container_failure(pair),
+        "pair",
+    ),
+    Scenario(
+        "host_machine",
+        0.19,
+        lambda injector, machine: injector.host_machine_failure(machine),
+        "machine",
+    ),
+    Scenario(
+        "host_network",
+        0.65,
+        lambda injector, machine: injector.host_network_failure(machine),
+        "machine",
+    ),
+]
+
+
+def scenario(name):
+    for entry in SCENARIOS:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)

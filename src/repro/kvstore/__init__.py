@@ -1,0 +1,31 @@
+"""The highly-available key-value store (the paper's Redis).
+
+TENSOR replicates BGP messages, inferred ACK numbers, TCP status and
+routing-table snapshots into "a highly-available distributed database —
+Redis is used in our case" (§3.1.1).  This package provides that store:
+
+- :class:`~repro.kvstore.store.KeyValueStore` — the in-RAM data structure
+  with calibrated operation costs (Fig. 5(b)).
+- :class:`~repro.kvstore.server.KvServer` — a single-threaded server
+  process on a simulated host (requests serialize, like Redis).
+- :class:`~repro.kvstore.client.KvClient` — the client used by BGP
+  processes and the recovery path.
+- :class:`~repro.kvstore.locks.LockManager` — the per-message locks that
+  order main-thread and keepalive-thread writes (§3.1.2).
+- :class:`~repro.kvstore.replication.ReplicatedKvCluster` — primary plus
+  synchronous replica, the "fault-tolerant service by itself" of §4.1.
+"""
+
+from repro.kvstore.store import KeyValueStore
+from repro.kvstore.server import KvServer
+from repro.kvstore.client import KvClient
+from repro.kvstore.locks import LockManager
+from repro.kvstore.replication import ReplicatedKvCluster
+
+__all__ = [
+    "KeyValueStore",
+    "KvServer",
+    "KvClient",
+    "LockManager",
+    "ReplicatedKvCluster",
+]

@@ -1,0 +1,86 @@
+"""The KV client used by BGP processes and the recovery path.
+
+All calls are asynchronous: callbacks fire when the server replies.  A
+failed server or a partition surfaces as the ``on_error`` callback after
+the timeout — the BGP process treats that as "replication unavailable"
+and keeps ACKs held, which is the fail-safe direction (§3.1.1: releasing
+an ACK before replication is the inconsistency to avoid).
+"""
+
+from repro.kvstore.server import KV_PORT
+from repro.sim.rpc import RpcClient
+
+DEFAULT_TIMEOUT = 1.0
+
+
+class KvClient:
+    """Asynchronous client bound to one KV endpoint."""
+
+    def __init__(self, engine, host, server_addr, server_port=KV_PORT):
+        self.engine = engine
+        self.rpc = RpcClient(engine, host, server_addr, server_port)
+        self.server_addr = server_addr
+
+    def _call(self, method, body, on_done, on_error, timeout):
+        def on_timeout():
+            if on_error is not None:
+                on_error(method)
+
+        self.rpc.call(
+            method, body, on_reply=on_done, on_timeout=on_timeout, timeout=timeout
+        )
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, key, on_done, on_error=None, timeout=DEFAULT_TIMEOUT):
+        """``on_done(value_or_None)``"""
+        self._call(
+            "get", {"key": key}, lambda rep: on_done(rep["value"]), on_error, timeout
+        )
+
+    def mget(self, keys, on_done, on_error=None, timeout=DEFAULT_TIMEOUT):
+        """``on_done(list_of_values)``"""
+        self._call(
+            "mget",
+            {"keys": list(keys)},
+            lambda rep: on_done(rep["values"]),
+            on_error,
+            timeout,
+        )
+
+    def set(self, key, value, on_done, on_error=None, timeout=DEFAULT_TIMEOUT):
+        """``on_done()`` after the write (and its sync replication) commit."""
+        self._call(
+            "set",
+            {"key": key, "value": value},
+            lambda _rep: on_done(),
+            on_error,
+            timeout,
+        )
+
+    def mset(self, items, on_done, on_error=None, timeout=DEFAULT_TIMEOUT):
+        """Batched write of ``[(key, value), ...]``; ``on_done()``."""
+        self._call(
+            "mset", {"items": list(items)}, lambda _rep: on_done(), on_error, timeout
+        )
+
+    def delete(self, keys, on_done=None, on_error=None, timeout=DEFAULT_TIMEOUT):
+        """``on_done(removed_count)`` (callback optional for fire-and-forget)."""
+        done = (lambda rep: on_done(rep["removed"])) if on_done else (lambda rep: None)
+        self._call("delete", {"keys": list(keys)}, done, on_error, timeout)
+
+    def scan(self, prefix, on_done, on_error=None, timeout=DEFAULT_TIMEOUT, estimated=64):
+        """``on_done(sorted_pairs)`` for keys under ``prefix``."""
+        self._call(
+            "scan",
+            {"prefix": prefix, "estimated": estimated},
+            lambda rep: on_done(rep["pairs"]),
+            on_error,
+            timeout,
+        )
+
+    def ping(self, on_done, on_error=None, timeout=DEFAULT_TIMEOUT):
+        self._call("ping", {}, lambda _rep: on_done(), on_error, timeout)
+
+    def close(self):
+        self.rpc.close()

@@ -1,0 +1,55 @@
+"""Primary-replica KV cluster assembly.
+
+§4.1 note: "our Redis server will not store data on disk but only in RAM
+... TENSOR targets providing BGP NSR with respect to single-point
+failures.  When either the database or the BGP container fails, TENSOR
+can be recovered by simply rebooting the failed service and
+re-synchronizing all the data."
+
+The cluster wires a primary :class:`~repro.kvstore.server.KvServer` to a
+synchronous replica on a different host and provides the failover lever a
+single-point database failure needs: promote the replica, repoint
+clients.
+"""
+
+from repro.kvstore.server import KV_PORT, KvServer
+
+
+class ReplicatedKvCluster:
+    """A primary KV server plus one synchronous replica."""
+
+    def __init__(self, engine, primary_host, replica_host, port=KV_PORT):
+        self.engine = engine
+        self.port = port
+        self.primary = KvServer(engine, primary_host, port)
+        self.replica = KvServer(engine, replica_host, port)
+        self.primary.attach_replica(replica_host.address, port)
+        self.failovers = 0
+
+    @property
+    def primary_addr(self):
+        return self.primary.host.address
+
+    def fail_primary(self):
+        """Kill the primary (a database single-point failure)."""
+        self.primary.fail()
+
+    def promote_replica(self):
+        """Promote the replica to primary after a primary failure.
+
+        Returns the new primary's address; clients must repoint.  The data
+        is already present on the replica because replication is
+        synchronous for every acknowledged write.
+        """
+        self.failovers += 1
+        self.primary, self.replica = self.replica, self.primary
+        return self.primary.host.address
+
+    def resync_replica(self):
+        """Bulk-copy primary data to the (rebooted) replica and re-attach."""
+        self.replica.store.load(self.primary.store.snapshot())
+        self.replica.recover()
+        self.primary.attach_replica(self.replica.host.address, self.port)
+
+    def total_records(self):
+        return len(self.primary.store)

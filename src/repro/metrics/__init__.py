@@ -1,0 +1,15 @@
+"""Measurement helpers: collectors, statistics, paper-style reports."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import mean, median, stdev, summarize
+from repro.metrics.report import format_series, format_table
+
+__all__ = [
+    "MetricsCollector",
+    "mean",
+    "median",
+    "stdev",
+    "summarize",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,44 @@
+"""Time-series metric collection on the virtual clock."""
+
+
+class MetricsCollector:
+    """Named time series of (time, value) points."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._series = {}
+        self._counters = {}
+
+    def record(self, name, value):
+        self._series.setdefault(name, []).append((self.engine.now, value))
+
+    def increment(self, name, amount=1):
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    def series(self, name):
+        return list(self._series.get(name, ()))
+
+    def values(self, name):
+        return [value for _time, value in self._series.get(name, ())]
+
+    def latest(self, name, default=None):
+        points = self._series.get(name)
+        return points[-1][1] if points else default
+
+    def sample_every(self, name, interval, fn, duration=None):
+        """Periodically record ``fn()`` into series ``name``."""
+        stop_at = None if duration is None else self.engine.now + duration
+
+        def tick():
+            if stop_at is not None and self.engine.now > stop_at:
+                return
+            self.record(name, fn())
+            self.engine.schedule(interval, tick)
+
+        self.engine.schedule(interval, tick)
+
+    def names(self):
+        return sorted(set(self._series) | set(self._counters))

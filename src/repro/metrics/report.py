@@ -1,0 +1,34 @@
+"""Paper-style table and series formatting for the benchmark harness."""
+
+
+def _fmt(value, precision=3):
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10000 or abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers, rows, title=None, precision=3):
+    """Render an aligned text table (the rows the paper reports)."""
+    text_rows = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name, xs, ys, x_label="x", y_label="y", precision=3):
+    """Render one figure series as aligned columns."""
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name, precision=precision)

@@ -1,0 +1,40 @@
+"""Small statistics helpers (no external dependencies)."""
+
+import math
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values):
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def stdev(values):
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def summarize(values):
+    values = list(values)
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "median": median(values),
+        "stdev": stdev(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,20 @@
+"""Netfilter emulation: hook chains and the NFQUEUE target.
+
+The paper's kernel-free replication "leverage[s] the existing hooks of the
+Netfilter Linux kernel module": the OUTPUT hook intercepts locally created
+egress packets, and an NFQUEUE target hands matched packets to a user-space
+thread (``tcp_queue``) that decides when to release them.  This package
+reproduces those semantics on the simulated TCP stack's egress path.
+"""
+
+from repro.netfilter.hooks import HookChain, HookPoint, Rule, Verdict
+from repro.netfilter.nfqueue import NfQueue, QueuedPacket
+
+__all__ = [
+    "HookChain",
+    "HookPoint",
+    "Rule",
+    "Verdict",
+    "NfQueue",
+    "QueuedPacket",
+]

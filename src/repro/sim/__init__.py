@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+Every other subsystem in this reproduction (TCP, BGP, BFD, the key-value
+store, containers, the controller) runs on top of this package.  The engine
+provides a virtual clock so that the durations the paper reports — failure
+detection times, migration times, update-processing times — are measured
+deterministically instead of depending on host load.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Engine` — the event loop and virtual clock.
+- :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Timer` —
+  simulated processes and restartable timers.
+- :class:`~repro.sim.network.Network`, :class:`~repro.sim.network.Host`,
+  :class:`~repro.sim.network.Link` — the simulated network fabric.
+- :mod:`~repro.sim.rpc` — a datagram/request-response layer used by the KV
+  store, controller channels and IP SLA probes.
+- :mod:`~repro.sim.calibration` — every constant calibrated to the paper.
+"""
+
+from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.process import Process, Timer
+from repro.sim.network import Host, Link, Network, Packet
+from repro.sim.rand import DeterministicRandom
+
+__all__ = [
+    "Engine",
+    "Event",
+    "SimulationError",
+    "Process",
+    "Timer",
+    "Host",
+    "Link",
+    "Network",
+    "Packet",
+    "DeterministicRandom",
+]

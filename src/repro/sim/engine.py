@@ -1,0 +1,147 @@
+"""The discrete-event engine and virtual clock.
+
+The engine is a classic priority-queue event loop.  Time is a float in
+seconds.  Events scheduled for the same instant fire in scheduling order
+(FIFO), which keeps every simulation in this repository deterministic.
+"""
+
+import heapq
+import itertools
+import math
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Engine.schedule` and can be cancelled.
+    Cancellation is O(1): the event is flagged and skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Safe to call multiple times."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {state} {self.callback!r}>"
+
+
+class Engine:
+    """Discrete-event loop with a virtual clock.
+
+    Usage::
+
+        engine = Engine()
+        engine.schedule(1.5, handler, arg1, arg2)
+        engine.run(until=10.0)
+        assert engine.now <= 10.0
+    """
+
+    def __init__(self):
+        self._queue = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self):
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite (delay={delay})")
+        event = Event(self._now + delay, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when, callback, *args):
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        return self.schedule(when - self._now, callback, *args)
+
+    def call_soon(self, callback, *args):
+        """Schedule ``callback(*args)`` at the current instant (after the
+        currently-firing event and anything already queued for now)."""
+        return self.schedule(0.0, callback, *args)
+
+    def stop(self):
+        """Stop a running :meth:`run` loop after the current event."""
+        self._stopped = True
+
+    def pending(self):
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def run(self, until=None, max_events=None):
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` events have fired.
+
+        Returns the number of events executed.  The clock is advanced to
+        ``until`` when it is provided and the queue drains early, so that
+        time-based assertions hold regardless of event density.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_events=10_000_000):
+        """Run until no events remain.  Guards against runaway loops."""
+        executed = self.run(max_events=max_events)
+        if executed >= max_events:
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events"
+            )
+        return executed
+
+    def advance(self, duration):
+        """Run for ``duration`` seconds of virtual time."""
+        return self.run(until=self._now + duration)
+
+    def __repr__(self):
+        return f"<Engine t={self._now:.6f} pending={self.pending()}>"

@@ -1,0 +1,302 @@
+"""Simulated network fabric: hosts, links, packet delivery.
+
+The model is a small datacenter: physical hosts connected either by
+dedicated point-to-point links (used for the peering-AS side, where the
+paper's testbed has a 100 Gbps Ethernet) or through a non-blocking fabric
+(used for the intra-cluster traffic between gateway servers, the agent and
+the KV store).  Containers appear as :class:`Host` endpoints anchored to a
+physical host; their reachability depends on the whole chain being up,
+which is what lets the failure scenarios E2–E5 of the paper be expressed
+naturally (kill a container, a machine, a virtual NIC or a physical NIC).
+
+Bandwidth is modelled with per-direction transmit queues (a serialization
+delay plus queueing behind earlier packets), which is what produces real
+throughput caps in the Fig. 5(a) reproduction rather than a hand-wave.
+"""
+
+from repro.sim.engine import SimulationError
+from repro.sim.rand import DeterministicRandom
+
+
+class Packet:
+    """A network packet.
+
+    ``payload`` is an arbitrary object (TCP segments, BFD control packets,
+    RPC frames).  ``size`` is the on-wire size in bytes and must account
+    for headers; the payload object is never serialized by the fabric.
+    """
+
+    __slots__ = ("src", "dst", "protocol", "sport", "dport", "payload", "size")
+
+    def __init__(self, src, dst, protocol, sport, dport, payload, size):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+        self.size = size
+
+    def __repr__(self):
+        return (
+            f"<Packet {self.protocol} {self.src}:{self.sport}->"
+            f"{self.dst}:{self.dport} {self.size}B>"
+        )
+
+
+class _TxQueue:
+    """One direction of a transmission pipe: serialization + queueing."""
+
+    __slots__ = ("bandwidth", "busy_until")
+
+    def __init__(self, bandwidth):
+        self.bandwidth = bandwidth
+        self.busy_until = 0.0
+
+    def enqueue(self, now, size):
+        """Return the instant the last bit of ``size`` bytes leaves the NIC."""
+        tx_time = (size * 8.0) / self.bandwidth
+        start = max(now, self.busy_until)
+        self.busy_until = start + tx_time
+        return self.busy_until
+
+
+class Link:
+    """A bidirectional point-to-point link between two physical hosts."""
+
+    def __init__(self, a, b, latency, bandwidth, loss=0.0):
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.loss = loss
+        self.up = True
+        self._tx = {a.name: _TxQueue(bandwidth), b.name: _TxQueue(bandwidth)}
+        self.packets_carried = 0
+        self.bytes_carried = 0
+
+    def tx_queue(self, from_host_name):
+        return self._tx[from_host_name]
+
+    def fail(self):
+        """Cut the link (paper failure class: link to the peering AS)."""
+        self.up = False
+
+    def repair(self):
+        self.up = True
+
+    def __repr__(self):
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.a.name}<->{self.b.name} {state}>"
+
+
+class Host:
+    """A network endpoint: a physical machine or a container namespace.
+
+    A container endpoint passes ``anchor=<physical host>``; its packets
+    traverse the physical host's connectivity.  ``up`` models the machine
+    or container being alive; ``network_up`` models its (virtual) NIC.
+    """
+
+    def __init__(self, network, name, address, anchor=None):
+        self.network = network
+        self.name = name
+        self.address = address
+        self.anchor_host = anchor
+        self.up = True
+        self.network_up = True
+        self._ports = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.dropped_unbound = 0
+
+    # -- port table ---------------------------------------------------------
+
+    def bind(self, protocol, port, handler):
+        """Register ``handler(packet)`` for (protocol, port)."""
+        key = (protocol, port)
+        if key in self._ports:
+            raise SimulationError(f"{self.name}: port {key} already bound")
+        self._ports[key] = handler
+
+    def unbind(self, protocol, port):
+        self._ports.pop((protocol, port), None)
+
+    def is_bound(self, protocol, port):
+        return (protocol, port) in self._ports
+
+    # -- reachability -------------------------------------------------------
+
+    def anchor(self):
+        """The physical host whose NIC carries this endpoint's traffic."""
+        host = self
+        while host.anchor_host is not None:
+            host = host.anchor_host
+        return host
+
+    def reachable(self):
+        """True when the endpoint and every hop down to the NIC are up."""
+        host = self
+        while host is not None:
+            if not host.up or not host.network_up:
+                return False
+            host = host.anchor_host
+        return True
+
+    # -- failure levers (used by repro.failures) ----------------------------
+
+    def fail(self):
+        """Machine/container death: also silently drops anchored endpoints."""
+        self.up = False
+
+    def recover(self):
+        self.up = True
+
+    def fail_network(self):
+        """NIC failure (paper E4 for containers, E5 for host machines)."""
+        self.network_up = False
+
+    def recover_network(self):
+        self.network_up = True
+
+    # -- I/O ----------------------------------------------------------------
+
+    def send(self, packet):
+        """Hand a packet to the fabric.  Returns False if we are down."""
+        if not self.reachable():
+            return False
+        self.tx_packets += 1
+        self.network.transmit(self, packet)
+        return True
+
+    def deliver(self, packet):
+        if not self.reachable():
+            return
+        handler = self._ports.get((packet.protocol, packet.dport))
+        if handler is None:
+            # a protocol-wide wildcard (port None) models a whole stack
+            # owning the protocol, e.g. TCP answering closed ports with RST
+            handler = self._ports.get((packet.protocol, None))
+        if handler is None:
+            self.dropped_unbound += 1
+            return
+        self.rx_packets += 1
+        handler(packet)
+
+    def __repr__(self):
+        return f"<Host {self.name!r} {self.address} up={self.up}>"
+
+
+class Network:
+    """The fabric: host registry, links, and the delivery scheduler."""
+
+    #: latency for two endpoints anchored on the same physical host
+    #: (veth/bridge hop — effectively a memory copy).
+    LOCAL_LATENCY = 5e-6
+
+    def __init__(self, engine, rng=None):
+        self.engine = engine
+        self.rng = (rng or DeterministicRandom(0)).stream("network.loss")
+        self.hosts = {}
+        self._links = {}
+        self.fabric_latency = None
+        self.fabric_bandwidth = None
+        self._fabric_tx = {}
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.taps = []
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(self, name, address, anchor=None, replace=False):
+        """Create and register a host (or container endpoint).
+
+        ``replace=True`` rebinds an existing address to the new endpoint —
+        the underlay uses this when a service address moves to the backup
+        container during NSR migration.
+        """
+        if address in self.hosts and not replace:
+            raise SimulationError(f"duplicate address {address}")
+        host = Host(self, name, address, anchor=anchor)
+        self.hosts[address] = host
+        return host
+
+    def remove_host(self, host):
+        self.hosts.pop(host.address, None)
+
+    def host_by_address(self, address):
+        return self.hosts.get(address)
+
+    def connect(self, a, b, latency=100e-6, bandwidth=100e9, loss=0.0):
+        """Create a dedicated point-to-point link between physical hosts."""
+        key = frozenset((a.name, b.name))
+        link = Link(a, b, latency, bandwidth, loss)
+        self._links[key] = link
+        return link
+
+    def link_between(self, a, b):
+        return self._links.get(frozenset((a.name, b.name)))
+
+    def enable_fabric(self, latency=50e-6, bandwidth=25e9):
+        """Enable the non-blocking switch fallback between physical hosts."""
+        self.fabric_latency = latency
+        self.fabric_bandwidth = bandwidth
+
+    def tap(self, fn):
+        """Register ``fn(packet, delivered)`` observing every transmit."""
+        self.taps.append(fn)
+
+    # -- delivery -----------------------------------------------------------
+
+    def transmit(self, src_host, packet):
+        """Schedule delivery of ``packet`` from ``src_host``.
+
+        Drops silently (like a real network) when the destination is
+        unknown/unreachable, the path is down, or the loss model fires.
+        """
+        self.packets_sent += 1
+        dst_host = self.hosts.get(packet.dst)
+        delivered = True
+        if dst_host is None or not dst_host.reachable():
+            delivered = False
+        else:
+            delay = self._path_delay(src_host.anchor(), dst_host.anchor(), packet.size)
+            if delay is None:
+                delivered = False
+        if delivered:
+            self.engine.schedule(delay, dst_host.deliver, packet)
+        else:
+            self.packets_dropped += 1
+        for tap in self.taps:
+            tap(packet, delivered)
+        return delivered
+
+    def _path_delay(self, src_anchor, dst_anchor, size):
+        """Latency+serialization for the physical path, or None if down/lost."""
+        if src_anchor is dst_anchor:
+            return self.LOCAL_LATENCY
+        link = self.link_between(src_anchor, dst_anchor)
+        now = self.engine.now
+        if link is not None:
+            if not link.up:
+                return None
+            if link.loss and self.rng.random() < link.loss:
+                return None
+            link.packets_carried += 1
+            link.bytes_carried += size
+            done = link.tx_queue(src_anchor.name).enqueue(now, size)
+            return (done - now) + link.latency
+        if self.fabric_latency is None:
+            raise SimulationError(
+                f"no path between {src_anchor.name} and {dst_anchor.name}"
+                " (no link, fabric disabled)"
+            )
+        tx = self._fabric_tx.get(src_anchor.name)
+        if tx is None:
+            tx = _TxQueue(self.fabric_bandwidth)
+            self._fabric_tx[src_anchor.name] = tx
+        done = tx.enqueue(now, size)
+        return (done - now) + self.fabric_latency
+
+    def __repr__(self):
+        return f"<Network hosts={len(self.hosts)} links={len(self._links)}>"

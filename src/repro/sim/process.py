@@ -1,0 +1,149 @@
+"""Simulated processes and timers.
+
+The paper's "threads" (main, IO, keepalive, tcp_queue) become simulated
+processes: small state machines that react to events on the virtual clock.
+A :class:`Timer` is a restartable one-shot timer, the building block for
+TCP retransmission timers, BGP hold/keepalive timers and BFD detection
+timers.  A :class:`PeriodicTask` is a fixed-interval repeating callback.
+"""
+
+from repro.sim.engine import SimulationError
+
+
+class Process:
+    """Base class for an entity that lives on the virtual clock.
+
+    Subclasses use :meth:`after` / :meth:`every` to schedule work, and
+    :meth:`kill` to model a crash: all pending callbacks owned by the
+    process are cancelled and further scheduling is rejected, mirroring the
+    abrupt death of a real OS process.
+    """
+
+    def __init__(self, engine, name="process"):
+        self.engine = engine
+        self.name = name
+        self.alive = True
+        self._owned_events = []
+
+    def after(self, delay, callback, *args):
+        """Schedule ``callback`` after ``delay`` seconds, owned by us."""
+        if not self.alive:
+            raise SimulationError(f"{self.name}: dead process cannot schedule")
+        event = self.engine.schedule(delay, self._guarded, callback, args)
+        self._owned_events.append(event)
+        if len(self._owned_events) > 256:
+            self._owned_events = [e for e in self._owned_events if not e.cancelled]
+        return event
+
+    def soon(self, callback, *args):
+        """Schedule ``callback`` at the current instant, owned by us."""
+        return self.after(0.0, callback, *args)
+
+    def every(self, interval, callback, *args):
+        """Run ``callback`` every ``interval`` seconds until killed."""
+        task = PeriodicTask(self, interval, callback, args)
+        task.start()
+        return task
+
+    def _guarded(self, callback, args):
+        if self.alive:
+            callback(*args)
+
+    def kill(self):
+        """Crash the process: cancel everything it scheduled."""
+        self.alive = False
+        for event in self._owned_events:
+            event.cancel()
+        self._owned_events.clear()
+
+    #: Containers supervise heterogeneous process objects through a
+    #: ``crash()`` method; for a bare simulated process they coincide.
+    crash = kill
+
+    def revive(self):
+        """Allow a killed process object to schedule again (restart)."""
+        self.alive = True
+
+    def __repr__(self):
+        state = "alive" if self.alive else "dead"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms it, ``stop`` disarms it, and when it fires it calls
+    the callback once.  ``restart`` is the idiom for watchdog-style timers
+    (hold timers, retransmission timers).
+    """
+
+    def __init__(self, engine, callback, name="timer"):
+        self.engine = engine
+        self.callback = callback
+        self.name = name
+        self._event = None
+        self.fired_count = 0
+
+    @property
+    def armed(self):
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self):
+        """Absolute virtual time at which the timer will fire, or None."""
+        if self.armed:
+            return self._event.time
+        return None
+
+    def start(self, delay):
+        """Arm the timer.  If already armed, the old deadline is replaced."""
+        self.stop()
+        self._event = self.engine.schedule(delay, self._fire)
+
+    restart = start
+
+    def stop(self):
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self.fired_count += 1
+        self.callback()
+
+    def __repr__(self):
+        return f"<Timer {self.name!r} armed={self.armed}>"
+
+
+class PeriodicTask:
+    """A repeating callback with a fixed interval.
+
+    The first invocation happens one full interval after :meth:`start`.
+    """
+
+    def __init__(self, process, interval, callback, args=()):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval})")
+        self.process = process
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.running = False
+        self.ticks = 0
+
+    def start(self):
+        self.running = True
+        self.process.after(self.interval, self._tick)
+
+    def stop(self):
+        self.running = False
+
+    def _tick(self):
+        if not self.running or not self.process.alive:
+            return
+        self.ticks += 1
+        self.callback(*self.args)
+        if self.running and self.process.alive:
+            self.process.after(self.interval, self._tick)

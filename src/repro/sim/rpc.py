@@ -1,0 +1,225 @@
+"""Datagram sockets and a request/response RPC layer.
+
+The KV-store protocol, the controller's gRPC-style channels and the IP SLA
+probes all need the same primitive: send a request to an address, get a
+reply or a timeout.  This module provides it over the simulated fabric.
+Everything is callback-based (the simulator has no coroutines), and every
+exchange really crosses the network, so failures of hosts, NICs and links
+produce timeouts exactly where the paper's failure-localization logic
+expects them.
+"""
+
+import itertools
+
+from repro.sim.engine import SimulationError
+from repro.sim.network import Packet
+
+
+class DatagramSocket:
+    """A connectionless socket bound to (protocol, port) on a host."""
+
+    def __init__(self, host, port, protocol="udp"):
+        self.host = host
+        self.port = port
+        self.protocol = protocol
+        self.on_receive = None
+        host.bind(protocol, port, self._deliver)
+        self._closed = False
+
+    def sendto(self, dst_addr, dst_port, payload, size=256, src_override=None):
+        """Send a datagram.  Returns False when the local stack is down.
+
+        ``src_override`` spoofs the source address — the agent server's
+        BFD relay uses it to transmit keepalives that appear to come from
+        the (down) primary's service address, which the shared VXLAN
+        underlay makes legitimate in the real deployment.
+        """
+        if self._closed:
+            raise SimulationError("sendto on closed socket")
+        packet = Packet(
+            src=src_override or self.host.address,
+            dst=dst_addr,
+            protocol=self.protocol,
+            sport=self.port,
+            dport=dst_port,
+            payload=payload,
+            size=size,
+        )
+        return self.host.send(packet)
+
+    def _deliver(self, packet):
+        if self.on_receive is not None:
+            self.on_receive(packet.src, packet.sport, packet.payload)
+
+    def close(self):
+        if not self._closed:
+            self.host.unbind(self.protocol, self.port)
+            self._closed = True
+
+
+class _RpcFrame:
+    """Wire frame for the RPC layer."""
+
+    __slots__ = ("kind", "req_id", "method", "body")
+
+    def __init__(self, kind, req_id, method, body):
+        self.kind = kind  # "req" | "rep"
+        self.req_id = req_id
+        self.method = method
+        self.body = body
+
+
+class RpcServer:
+    """Serves requests on (host, port).
+
+    ``handler(method, body) -> reply_body`` runs application logic; a
+    ``service_time(method, body) -> seconds`` hook models server-side
+    processing cost (the KV store uses it for its calibrated op costs).
+    """
+
+    def __init__(self, engine, host, port, handler, service_time=None, protocol="rpc"):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.service_time = service_time
+        self.socket = DatagramSocket(host, port, protocol=protocol)
+        self.socket.on_receive = self._on_frame
+        self.requests_served = 0
+
+    def _on_frame(self, src_addr, src_port, frame):
+        if frame.kind != "req":
+            return
+        delay = 0.0
+        if self.service_time is not None:
+            delay = self.service_time(frame.method, frame.body)
+        self.engine.schedule(delay, self._finish, src_addr, src_port, frame)
+
+    def _finish(self, src_addr, src_port, frame):
+        reply_body = self.handler(frame.method, frame.body)
+        self.requests_served += 1
+        reply = _RpcFrame("rep", frame.req_id, frame.method, reply_body)
+        self.socket.sendto(src_addr, src_port, reply, size=_body_size(reply_body))
+
+    def close(self):
+        self.socket.close()
+
+
+class AsyncRpcServer:
+    """Like :class:`RpcServer`, but the handler replies asynchronously.
+
+    ``handler(method, body, respond)`` must eventually call
+    ``respond(reply_body)`` exactly once — possibly after further network
+    round trips (the KV store's synchronous replication uses this to reply
+    only after its replica has confirmed the write).
+    """
+
+    def __init__(self, engine, host, port, handler, service_time=None, protocol="rpc"):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.service_time = service_time
+        self.socket = DatagramSocket(host, port, protocol=protocol)
+        self.socket.on_receive = self._on_frame
+        self.requests_served = 0
+
+    def _on_frame(self, src_addr, src_port, frame):
+        if frame.kind != "req":
+            return
+        delay = 0.0
+        if self.service_time is not None:
+            delay = self.service_time(frame.method, frame.body)
+        self.engine.schedule(delay, self._dispatch, src_addr, src_port, frame)
+
+    def _dispatch(self, src_addr, src_port, frame):
+        def respond(reply_body):
+            self.requests_served += 1
+            reply = _RpcFrame("rep", frame.req_id, frame.method, reply_body)
+            self.socket.sendto(src_addr, src_port, reply, size=_body_size(reply_body))
+
+        self.handler(frame.method, frame.body, respond)
+
+    def close(self):
+        self.socket.close()
+
+
+class RpcClient:
+    """Issues requests to a fixed server address.
+
+    ``call(method, body, on_reply, on_timeout=..., timeout=...)`` — the
+    reply callback receives the reply body; the timeout callback fires if
+    no reply arrives in time (lost packets, dead server, partition).
+    """
+
+    _port_counter = itertools.count(40000)
+
+    def __init__(self, engine, host, server_addr, server_port, protocol="rpc"):
+        self.engine = engine
+        self.host = host
+        self.server_addr = server_addr
+        self.server_port = server_port
+        port = next(self._port_counter)
+        self.socket = DatagramSocket(host, port, protocol=protocol)
+        self.socket.on_receive = self._on_frame
+        self._req_counter = itertools.count(1)
+        self._pending = {}
+        self.timeouts = 0
+        self.replies = 0
+
+    def call(self, method, body, on_reply, on_timeout=None, timeout=1.0):
+        """Fire a request.  Exactly one of the callbacks will run."""
+        req_id = next(self._req_counter)
+        frame = _RpcFrame("req", req_id, method, body)
+        timer = self.engine.schedule(timeout, self._expire, req_id)
+        self._pending[req_id] = (on_reply, on_timeout, timer)
+        self.socket.sendto(
+            self.server_addr, self.server_port, frame, size=_body_size(body)
+        )
+        return req_id
+
+    def _on_frame(self, src_addr, src_port, frame):
+        if frame.kind != "rep":
+            return
+        entry = self._pending.pop(frame.req_id, None)
+        if entry is None:
+            return  # reply after timeout: drop
+        on_reply, _on_timeout, timer = entry
+        timer.cancel()
+        self.replies += 1
+        on_reply(frame.body)
+
+    def _expire(self, req_id):
+        entry = self._pending.pop(req_id, None)
+        if entry is None:
+            return
+        _on_reply, on_timeout, _timer = entry
+        self.timeouts += 1
+        if on_timeout is not None:
+            on_timeout()
+
+    def cancel_all(self):
+        """Drop all in-flight requests without firing callbacks."""
+        for _on_reply, _on_timeout, timer in self._pending.values():
+            timer.cancel()
+        self._pending.clear()
+
+    def close(self):
+        self.cancel_all()
+        self.socket.close()
+
+
+def _body_size(body, default=256):
+    """Estimate the wire size of an RPC body."""
+    if isinstance(body, (bytes, bytearray)):
+        return 64 + len(body)
+    if isinstance(body, dict):
+        total = 64
+        for key, value in body.items():
+            total += len(str(key))
+            if isinstance(value, (bytes, bytearray, str)):
+                total += len(value)
+            else:
+                total += 8
+        return total
+    return default

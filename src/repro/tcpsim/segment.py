@@ -1,0 +1,71 @@
+"""TCP segments."""
+
+from repro.sim.calibration import TCP_HEADER_BYTES
+
+
+class Segment:
+    """One TCP segment.
+
+    The payload is real bytes — BGP messages are encoded to their RFC 4271
+    wire format and stream through these segments, which is what makes the
+    ACK-number inference of §3.1.2 meaningful in this reproduction.
+    """
+
+    __slots__ = ("seq", "ack", "flags", "window", "payload", "mss")
+
+    SYN = 0x02
+    ACK = 0x10
+    FIN = 0x01
+    RST = 0x04
+
+    def __init__(self, seq, ack, flags, window, payload=b"", mss=None):
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+        self.mss = mss  # MSS option, present on SYN segments
+
+    @property
+    def syn(self):
+        return bool(self.flags & self.SYN)
+
+    @property
+    def has_ack(self):
+        return bool(self.flags & self.ACK)
+
+    @property
+    def fin(self):
+        return bool(self.flags & self.FIN)
+
+    @property
+    def rst(self):
+        return bool(self.flags & self.RST)
+
+    @property
+    def seq_space(self):
+        """Sequence space consumed: payload plus SYN/FIN flags."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def wire_size(self):
+        """On-wire size in bytes including Ethernet/IP/TCP headers."""
+        return TCP_HEADER_BYTES + len(self.payload)
+
+    def flag_names(self):
+        names = []
+        if self.syn:
+            names.append("SYN")
+        if self.has_ack:
+            names.append("ACK")
+        if self.fin:
+            names.append("FIN")
+        if self.rst:
+            names.append("RST")
+        return "|".join(names) or "-"
+
+    def __repr__(self):
+        return (
+            f"<Segment {self.flag_names()} seq={self.seq} ack={self.ack}"
+            f" len={len(self.payload)} wnd={self.window}>"
+        )

@@ -1,0 +1,36 @@
+"""TCP connection states (RFC 793 §3.2)."""
+
+import enum
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    def is_synchronized(self):
+        """States where both sides have synchronized sequence numbers."""
+        return self not in (
+            TcpState.CLOSED,
+            TcpState.LISTEN,
+            TcpState.SYN_SENT,
+            TcpState.SYN_RCVD,
+        )
+
+    def can_send_data(self):
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)
+
+    def can_receive_data(self):
+        return self in (
+            TcpState.ESTABLISHED,
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+        )

@@ -1,0 +1,21 @@
+"""Workload generation: routing updates, traffic, topology, operations.
+
+Everything the benchmarks feed into the system: synthetic routing-update
+streams (Figs. 6(a)-(c)), the heavy-tailed per-link traffic model
+(Fig. 7(a)), remote-peering-AS topology builders, and the two-year
+operational model (Fig. 7(b)).
+"""
+
+from repro.workloads.updates import RouteGenerator
+from repro.workloads.traffic import TrafficModel
+from repro.workloads.topology import RemotePeerAs, build_remote_peer, DowntimeObserver
+from repro.workloads.operations import OperationalModel
+
+__all__ = [
+    "RouteGenerator",
+    "TrafficModel",
+    "RemotePeerAs",
+    "build_remote_peer",
+    "DowntimeObserver",
+    "OperationalModel",
+]

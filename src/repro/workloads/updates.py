@@ -1,0 +1,64 @@
+"""Synthetic routing-update workloads.
+
+Generates realistic-looking announcement sets: distinct prefixes, AS
+paths of plausible length, a bounded pool of distinct attribute sets
+(real tables heavily share attributes, which is what makes update
+packing effective).
+"""
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.prefixes import Prefix
+
+
+class RouteGenerator:
+    """Deterministic route-set generator."""
+
+    def __init__(self, rng, origin_as, next_hop="0.0.0.0", attr_pool_size=64):
+        self.rng = rng
+        self.origin_as = origin_as
+        self.next_hop = next_hop
+        self.attr_pool = [
+            self._random_attributes() for _ in range(attr_pool_size)
+        ]
+
+    def _random_attributes(self):
+        path_len = self.rng.randint(1, 5)
+        asns = [self.origin_as] + [
+            64512 + self.rng.randint(0, 1023) for _ in range(path_len - 1)
+        ]
+        communities = tuple(
+            sorted(
+                (self.origin_as << 16) | self.rng.randint(1, 999)
+                for _ in range(self.rng.randint(0, 3))
+            )
+        )
+        return PathAttributes(
+            origin=Origin(self.rng.choice((0, 0, 0, 1, 2))),
+            as_path=AsPath.sequence(*asns),
+            next_hop=self.next_hop,
+            med=self.rng.choice((None, 0, 10, 100)),
+            communities=communities,
+        )
+
+    def prefixes(self, count, base="10.0.0.0", length=24):
+        """``count`` distinct IPv4 prefixes, deterministic order."""
+        base_prefix = Prefix.parse(f"{base}/{length}")
+        step = 1 << (32 - length)
+        return [
+            Prefix((base_prefix.value + i * step) & 0xFFFFFFFF, length)
+            for i in range(count)
+        ]
+
+    def routes(self, count, length=24):
+        """``count`` (prefix, attributes) pairs sharing pooled attributes."""
+        prefixes = self.prefixes(count, length=length)
+        return [
+            (prefix, self.attr_pool[i % len(self.attr_pool)])
+            for i, prefix in enumerate(prefixes)
+        ]
+
+    def uniform_routes(self, count, length=24):
+        """``count`` pairs sharing ONE attribute set (best-case packing)."""
+        prefixes = self.prefixes(count, length=length)
+        attrs = self.attr_pool[0]
+        return [(prefix, attrs) for prefix in prefixes]

@@ -1,0 +1,98 @@
+"""Shared fixtures and topology helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.sim import DeterministicRandom, Engine, Network
+from repro.tcpsim import TcpStack
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, DeterministicRandom(1234))
+
+
+@pytest.fixture
+def two_hosts(engine, network):
+    """Two hosts on a dedicated 100 Gbps link, with TCP stacks."""
+    a = network.add_host("a", "10.0.0.1")
+    b = network.add_host("b", "10.0.0.2")
+    network.connect(a, b, latency=100e-6, bandwidth=100e9)
+    return a, b
+
+
+@pytest.fixture
+def two_stacks(engine, two_hosts):
+    a, b = two_hosts
+    return TcpStack(engine, a), TcpStack(engine, b)
+
+
+def make_tcp_pair(engine, stack_a, stack_b, port=7000, payload=b""):
+    """Connect stack_a -> stack_b:port; returns (client_conn, accepted_holder).
+
+    ``accepted_holder`` is a one-element list filled with the server-side
+    connection once the handshake completes.
+    """
+    accepted = []
+    received = bytearray()
+
+    def on_accept(conn):
+        accepted.append(conn)
+        conn.on_data = lambda _c, data: received.extend(data)
+
+    stack_b.listen(port, on_accept)
+    client = stack_a.connect(stack_b.host.address, port)
+    if payload:
+        client.on_established = lambda conn: conn.send(payload)
+    engine.advance(1.0)
+    return client, accepted, received
+
+
+def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True):
+    """A full TensorSystem with one pair and one remote AS, converged."""
+    from repro.core.system import PeerNeighborSpec, TensorSystem
+    from repro.workloads.topology import build_remote_peer
+    from repro.workloads.updates import RouteGenerator
+
+    system = TensorSystem(seed=seed)
+    engine = system.engine
+    m1 = system.add_machine("gw-1", "10.1.0.1")
+    m2 = system.add_machine("gw-2", "10.2.0.1")
+    specs = [
+        PeerNeighborSpec(f"192.0.2.{i + 1}", 64512 + i, vrf_name=f"v{i}", mode="passive")
+        for i in range(neighbors)
+    ]
+    pair = system.create_pair(
+        "pair0",
+        m1,
+        m2,
+        service_addr="10.10.0.1",
+        local_as=65001,
+        router_id="10.10.0.1",
+        neighbors=specs,
+        preheat_backup=preheat,
+    )
+    remotes = []
+    for i in range(neighbors):
+        remote = build_remote_peer(
+            system, f"remote{i}", f"192.0.2.{i + 1}", 64512 + i, link_machines=[m1, m2]
+        )
+        session = remote.peer_with("10.10.0.1", 65001, vrf_name=f"v{i}", mode="active")
+        remotes.append((remote, session))
+    pair.start()
+    for remote, _session in remotes:
+        remote.start()
+    engine.advance(10.0)
+    if routes:
+        gen = RouteGenerator(random.Random(seed), 64512, next_hop="192.0.2.1")
+        for remote, session in remotes:
+            remote.speaker.originate_many(session.config.vrf_name, gen.routes(routes))
+            remote.speaker.readvertise(session)
+        engine.advance(5.0)
+    return system, pair, remotes

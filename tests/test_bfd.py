@@ -1,0 +1,178 @@
+"""BFD sessions, detection timing, and the agent relay."""
+
+import pytest
+
+from repro.bfd import BfdProcess, BfdRelay, BfdState
+from repro.sim import DeterministicRandom, Engine, Network
+
+
+@pytest.fixture
+def bfd_pair(engine):
+    network = Network(engine, DeterministicRandom(17))
+    a = network.add_host("a", "10.0.0.1")
+    b = network.add_host("b", "10.0.0.2")
+    network.connect(a, b, latency=100e-6, bandwidth=100e9)
+    rng = DeterministicRandom(17)
+    pa = BfdProcess(engine, a, rng=rng.stream("a"))
+    pb = BfdProcess(engine, b, rng=rng.stream("b"))
+    return network, pa, pb
+
+
+def test_sessions_come_up(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    sa = pa.add_session("v1", "10.0.0.2")
+    sb = pb.add_session("v1", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    assert sa.state is BfdState.UP and sb.state is BfdState.UP
+    assert sa.your_disc == sb.my_disc
+
+
+def test_detection_within_mult_times_interval(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    pa.add_session("v1", "10.0.0.2")
+    sb = pb.add_session("v1", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    t0 = engine.now
+    pa.crash()
+    engine.advance(2.0)
+    assert sb.state is BfdState.DOWN
+    assert sb.last_down_at - t0 <= 3 * 0.1 + 0.15  # detect mult x interval (+jitter)
+
+
+def test_state_change_callback_fires(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    events = []
+    pa.add_session("v1", "10.0.0.2")
+    pb.add_session("v1", "10.0.0.1",
+                   on_state_change=lambda s, old, new: events.append((old, new)))
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    assert (BfdState.INIT, BfdState.UP) in events or (BfdState.DOWN, BfdState.UP) in events
+
+
+def test_session_recovers_after_restart(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    sa = pa.add_session("v1", "10.0.0.2")
+    sb = pb.add_session("v1", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    pa.crash()
+    engine.advance(2.0)
+    assert sb.state is BfdState.DOWN
+    # restart a fresh process on the same host
+    pa2 = BfdProcess(engine, _net.host_by_address("10.0.0.1"), port=3785)
+    # note: original port still bound by crashed process's socket; use the
+    # process-level restart path instead: revive the original
+    pa.alive = True
+    for session in pa.sessions.values():
+        session.state = BfdState.DOWN
+        session.running = True
+        session._schedule_tx(immediate=True)
+    engine.advance(2.0)
+    assert sb.state is BfdState.UP
+
+
+def test_vrf_sessions_independent(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    sa1 = pa.add_session("v1", "10.0.0.2")
+    sa2 = pa.add_session("v2", "10.0.0.2")
+    sb1 = pb.add_session("v1", "10.0.0.1")
+    sb2 = pb.add_session("v2", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    assert all(s.state is BfdState.UP for s in (sa1, sa2, sb1, sb2))
+    # stop only v1 on a
+    sa1.crash()
+    engine.advance(2.0)
+    assert sb1.state is BfdState.DOWN
+    assert sb2.state is BfdState.UP
+
+
+def test_export_relay_specs(engine, bfd_pair):
+    _net, pa, pb = bfd_pair
+    pa.add_session("v1", "10.0.0.2")
+    pa.start()
+    specs = pa.export_relay_specs()
+    assert len(specs) == 1
+    assert specs[0]["vrf"] == "v1"
+    assert specs[0]["source_addr"] == "10.0.0.1"
+
+
+def test_relay_masks_primary_death(engine, bfd_pair):
+    network, pa, pb = bfd_pair
+    agent = network.add_host("agent", "10.0.0.9")
+    network.connect(agent, network.host_by_address("10.0.0.2"),
+                    latency=100e-6, bandwidth=100e9)
+    pa.add_session("v1", "10.0.0.2")
+    sb = pb.add_session("v1", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    relay = BfdRelay(engine, agent, pa.export_relay_specs(),
+                     rng=DeterministicRandom(5).stream("r"))
+    relay.start()
+    engine.advance(0.5)
+    pa.crash()
+    engine.advance(20.0)
+    assert sb.state is BfdState.UP  # the relay kept it alive
+    relay.stop()
+    engine.advance(2.0)
+    assert sb.state is BfdState.DOWN  # relay gone, primary still dead
+
+
+def test_relay_spoofs_source_address(engine, bfd_pair):
+    network, pa, pb = bfd_pair
+    agent = network.add_host("agent", "10.0.0.9")
+    network.connect(agent, network.host_by_address("10.0.0.2"),
+                    latency=100e-6, bandwidth=100e9)
+    sources = []
+    network.tap(lambda pkt, ok: sources.append(pkt.src)
+                if pkt.protocol == "udp" and pkt.dport == 3784 else None)
+    pa.add_session("v1", "10.0.0.2")
+    pa.start()
+    relay = BfdRelay(engine, agent, pa.export_relay_specs(),
+                     rng=DeterministicRandom(5).stream("r"))
+    relay.start()
+    engine.advance(0.5)
+    assert "10.0.0.1" in sources
+    assert "10.0.0.9" not in sources  # relay always spoofs
+
+
+def test_relay_update_specs(engine, bfd_pair):
+    network, pa, pb = bfd_pair
+    agent = network.add_host("agent", "10.0.0.9")
+    network.connect(agent, network.host_by_address("10.0.0.2"),
+                    latency=100e-6, bandwidth=100e9)
+    pa.add_session("v1", "10.0.0.2")
+    pa.start()
+    relay = BfdRelay(engine, agent, pa.export_relay_specs(),
+                     rng=DeterministicRandom(5).stream("r"))
+    relay.start()
+    engine.advance(0.3)
+    new_session = pa.add_session("v2", "10.0.0.2")
+    new_session.start()
+    relay.update_specs(pa.export_relay_specs())
+    engine.advance(0.3)
+    assert len(relay.specs) == 2
+
+
+def test_fixed_discriminators_for_recovery(engine, bfd_pair):
+    """A recovered BFD process reusing discriminators keeps the remote UP."""
+    _net, pa, pb = bfd_pair
+    sa = pa.add_session("v1", "10.0.0.2")
+    sb = pb.add_session("v1", "10.0.0.1")
+    pa.start(); pb.start()
+    engine.advance(1.0)
+    my_disc, your_disc = sa.my_disc, sa.your_disc
+    pa.crash()
+    # new process resumes within the detection budget, same discriminators
+    engine.advance(0.1)
+    pa.alive = True
+    recovered = pa.add_session("v1b", "10.0.0.2", my_disc=my_disc,
+                               your_disc=your_disc, initial_state=BfdState.UP)
+    recovered.vrf = "v1"  # same VRF identity on the wire
+    recovered.start()
+    engine.advance(5.0)
+    assert sb.state is BfdState.UP
+    assert not [t for t, old, new in sb.state_changes if new is BfdState.DOWN]

@@ -1,0 +1,155 @@
+"""Prefix parsing, wire format, containment, and the trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp import Prefix, PrefixTrie
+
+
+def test_parse_ipv4():
+    p = Prefix.parse("10.1.2.0/24")
+    assert p.length == 24
+    assert p.afi == Prefix.AFI_IPV4
+    assert str(p) == "10.1.2.0/24"
+
+
+def test_parse_ipv4_host_route_default_length():
+    assert Prefix.parse("192.0.2.1").length == 32
+
+
+def test_parse_masks_host_bits():
+    assert str(Prefix.parse("10.1.2.3/24")) == "10.1.2.0/24"
+
+
+def test_parse_ipv6():
+    p = Prefix.parse("2001:db8::/32")
+    assert p.afi == Prefix.AFI_IPV6
+    assert p.length == 32
+    assert str(p) == "2001:db8:0:0:0:0:0:0/32"
+
+
+def test_parse_ipv6_full_form():
+    p = Prefix.parse("2001:0db8:0000:0000:0000:0000:0000:0001/128")
+    assert p.length == 128
+
+
+def test_bad_addresses_rejected():
+    for bad in ("10.1.2", "10.1.2.256", "1.2.3.4.5", "g::1", "::1::2"):
+        with pytest.raises(ValueError):
+            Prefix.parse(bad)
+
+
+def test_bad_length_rejected():
+    with pytest.raises(ValueError):
+        Prefix.parse("10.0.0.0/33")
+
+
+def test_wire_roundtrip_v4():
+    p = Prefix.parse("203.0.113.0/25")
+    wire = p.to_wire()
+    assert len(wire) == p.wire_size == 1 + 4
+    decoded, offset = Prefix.from_wire(wire, 0)
+    assert decoded == p
+    assert offset == len(wire)
+
+
+def test_wire_minimal_octets():
+    assert len(Prefix.parse("10.0.0.0/8").to_wire()) == 2
+    assert len(Prefix.parse("10.128.0.0/9").to_wire()) == 3
+    assert len(Prefix.parse("0.0.0.0/0").to_wire()) == 1
+
+
+def test_wire_truncated_raises():
+    with pytest.raises(ValueError):
+        Prefix.from_wire(b"\x18\x0a", 0)  # /24 needs 3 octets
+
+
+def test_contains():
+    outer = Prefix.parse("10.0.0.0/8")
+    inner = Prefix.parse("10.1.0.0/16")
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+    assert not outer.contains(Prefix.parse("11.0.0.0/16"))
+
+
+def test_contains_rejects_cross_afi():
+    assert not Prefix.parse("0.0.0.0/0").contains(Prefix.parse("::/0"))
+
+
+def test_ordering_and_hash():
+    a = Prefix.parse("10.0.0.0/8")
+    b = Prefix.parse("10.0.0.0/16")
+    assert a < b
+    assert len({a, b, Prefix.parse("10.0.0.0/8")}) == 2
+
+
+@given(value=st.integers(min_value=0, max_value=2**32 - 1),
+       length=st.integers(min_value=0, max_value=32))
+def test_wire_roundtrip_property_v4(value, length):
+    p = Prefix(value, length)
+    decoded, _ = Prefix.from_wire(p.to_wire(), 0)
+    assert decoded == p
+
+
+@given(value=st.integers(min_value=0, max_value=2**128 - 1),
+       length=st.integers(min_value=0, max_value=128))
+def test_wire_roundtrip_property_v6(value, length):
+    p = Prefix(value, length, Prefix.AFI_IPV6)
+    decoded, _ = Prefix.from_wire(p.to_wire(), 0, Prefix.AFI_IPV6)
+    assert decoded == p
+
+
+@given(text=st.from_regex(r"(25[0-5]|2[0-4][0-9]|1?[0-9]?[0-9])"
+                          r"(\.(25[0-5]|2[0-4][0-9]|1?[0-9]?[0-9])){3}/(3[0-2]|[12]?[0-9])",
+                          fullmatch=True))
+def test_parse_str_roundtrip_property(text):
+    p = Prefix.parse(text)
+    assert Prefix.parse(str(p)) == p
+
+
+# -- trie ---------------------------------------------------------------------
+
+
+def test_trie_exact_and_remove():
+    trie = PrefixTrie()
+    p = Prefix.parse("10.0.0.0/8")
+    trie.insert(p, "A")
+    assert trie.exact(p) == "A"
+    assert len(trie) == 1
+    assert trie.remove(p)
+    assert trie.exact(p) is None
+    assert not trie.remove(p)
+    assert len(trie) == 0
+
+
+def test_trie_longest_match():
+    trie = PrefixTrie()
+    trie.insert(Prefix.parse("10.0.0.0/8"), "eight")
+    trie.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+    assert trie.longest_match(Prefix.parse("10.1.2.0/24")) == (16, "sixteen")
+    assert trie.longest_match(Prefix.parse("10.2.0.0/24")) == (8, "eight")
+    assert trie.longest_match(Prefix.parse("11.0.0.0/24")) is None
+
+
+def test_trie_default_route_matches_everything():
+    trie = PrefixTrie()
+    trie.insert(Prefix.parse("0.0.0.0/0"), "default")
+    assert trie.longest_match(Prefix.parse("192.0.2.1/32")) == (0, "default")
+
+
+def test_trie_update_in_place():
+    trie = PrefixTrie()
+    p = Prefix.parse("10.0.0.0/8")
+    trie.insert(p, "one")
+    trie.insert(p, "two")
+    assert trie.exact(p) == "two"
+    assert len(trie) == 1
+
+
+def test_trie_v4_v6_independent():
+    trie = PrefixTrie()
+    trie.insert(Prefix.parse("0.0.0.0/0"), "v4")
+    trie.insert(Prefix.parse("::/0"), "v6")
+    assert trie.longest_match(Prefix.parse("1.2.3.4/32"))[1] == "v4"
+    assert trie.longest_match(Prefix.parse("2001:db8::1/128"))[1] == "v6"

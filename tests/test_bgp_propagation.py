@@ -1,0 +1,217 @@
+"""Live route propagation: eBGP -> iBGP, withdrawals, policies, refresh."""
+
+import random
+
+import pytest
+
+from repro.bgp import BgpSpeaker, PeerConfig, Prefix, SpeakerConfig
+from repro.bgp.messages import RouteRefreshMessage
+from repro.bgp.policy import PolicyAction, PrefixList, RouteMap, RouteMapEntry
+from repro.sim import DeterministicRandom, Engine, Network
+from repro.tcpsim import TcpStack
+from repro.workloads.updates import RouteGenerator
+
+
+def _mesh(engine, network, specs):
+    """Build speakers {name: (speaker, host)} from {name: (addr, asn)}."""
+    network.enable_fabric(latency=5e-5)
+    speakers = {}
+    for name, (addr, asn) in specs.items():
+        host = network.add_host(name, addr)
+        speakers[name] = BgpSpeaker(
+            engine, TcpStack(engine, host), SpeakerConfig(name, asn, addr)
+        )
+        speakers[name].add_vrf("v")
+    return speakers
+
+
+def _connect(engine, speakers, active, passive, **kwargs):
+    passive_speaker = speakers[passive]
+    active_speaker = speakers[active]
+    passive_speaker.add_peer(PeerConfig(
+        active_speaker.stack.host.address,
+        active_speaker.config.local_as, vrf_name="v", mode="passive", **kwargs))
+    return active_speaker.add_peer(PeerConfig(
+        passive_speaker.stack.host.address,
+        passive_speaker.config.local_as, vrf_name="v", mode="active", **kwargs))
+
+
+def test_ebgp_route_propagates_to_ibgp_peer(engine, network):
+    """external AS -> border speaker -> iBGP neighbour."""
+    speakers = _mesh(engine, network, {
+        "external": ("10.0.0.1", 64512),
+        "border": ("10.0.0.2", 65001),
+        "internal": ("10.0.0.3", 65001),
+    })
+    _connect(engine, speakers, "external", "border")
+    _connect(engine, speakers, "internal", "border")
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(1), 64512, next_hop="10.0.0.1")
+    prefix, attrs = gen.routes(1)[0]
+    speakers["external"].originate("v", prefix, attrs)
+    engine.advance(3.0)
+    internal_rib = speakers["internal"].vrfs["v"].loc_rib
+    route = internal_rib.best(prefix)
+    assert route is not None
+    assert route.source_kind == "ibgp"
+    # the border prepended nothing on iBGP, but external's eBGP hop added 64512
+    assert 64512 in route.attributes.as_path.as_list()
+
+
+def test_ibgp_split_horizon(engine, network):
+    """iBGP-learned routes do not re-propagate to other iBGP peers."""
+    speakers = _mesh(engine, network, {
+        "rr1": ("10.0.0.1", 65001),
+        "hub": ("10.0.0.2", 65001),
+        "rr2": ("10.0.0.3", 65001),
+    })
+    _connect(engine, speakers, "rr1", "hub")
+    _connect(engine, speakers, "rr2", "hub")
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    # the path must not contain AS 65001 or the hub's loop detection
+    # (correctly) rejects it, so the internal route carries an external
+    # origin AS
+    gen = RouteGenerator(random.Random(2), 64999, next_hop="10.0.0.1")
+    prefix, attrs = gen.routes(1)[0]
+    speakers["rr1"].originate("v", prefix, attrs)
+    engine.advance(3.0)
+    assert speakers["hub"].vrfs["v"].loc_rib.best(prefix) is not None
+    # split horizon: hub must NOT forward an iBGP route to rr2
+    assert speakers["rr2"].vrfs["v"].loc_rib.best(prefix) is None
+
+
+def test_withdrawal_propagates(engine, network):
+    speakers = _mesh(engine, network, {
+        "a": ("10.0.0.1", 64512),
+        "b": ("10.0.0.2", 65001),
+    })
+    session = _connect(engine, speakers, "a", "b")
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(3), 64512, next_hop="10.0.0.1")
+    prefix, attrs = gen.routes(1)[0]
+    speakers["a"].originate("v", prefix, attrs)
+    engine.advance(3.0)
+    assert speakers["b"].vrfs["v"].loc_rib.best(prefix) is not None
+    speakers["a"].withdraw_originated("v", prefix)
+    engine.advance(3.0)
+    assert speakers["b"].vrfs["v"].loc_rib.best(prefix) is None
+
+
+def test_import_policy_filters_on_live_session(engine, network):
+    speakers = _mesh(engine, network, {
+        "a": ("10.0.0.1", 64512),
+        "b": ("10.0.0.2", 65001),
+    })
+    blocked = PrefixList("blocked", [Prefix.parse("10.66.0.0/16")])
+    import_policy = RouteMap("imp", [
+        RouteMapEntry(permit=False, match_prefix_list=blocked),
+        RouteMapEntry(permit=True),
+    ])
+    speakers["b"].add_peer(PeerConfig("10.0.0.1", 64512, vrf_name="v",
+                                      mode="passive", import_policy=import_policy))
+    session = speakers["a"].add_peer(PeerConfig("10.0.0.2", 65001, vrf_name="v",
+                                                mode="active"))
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(4), 64512, next_hop="10.0.0.1")
+    allowed = Prefix.parse("10.50.1.0/24")
+    denied = Prefix.parse("10.66.1.0/24")
+    speakers["a"].originate("v", allowed, gen.attr_pool[0])
+    speakers["a"].originate("v", denied, gen.attr_pool[0])
+    engine.advance(3.0)
+    rib = speakers["b"].vrfs["v"].loc_rib
+    assert rib.best(allowed) is not None
+    assert rib.best(denied) is None
+
+
+def test_export_policy_rewrites_on_live_session(engine, network):
+    speakers = _mesh(engine, network, {
+        "a": ("10.0.0.1", 64512),
+        "b": ("10.0.0.2", 65001),
+    })
+    export_policy = RouteMap("exp", [
+        RouteMapEntry(action=PolicyAction(prepend_as=64512, prepend_count=3,
+                                          add_communities=(0xDEAD,))),
+    ])
+    speakers["a"].add_peer(PeerConfig("10.0.0.2", 65001, vrf_name="v",
+                                      mode="active", export_policy=export_policy))
+    speakers["b"].add_peer(PeerConfig("10.0.0.1", 64512, vrf_name="v",
+                                      mode="passive"))
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(5), 64512, next_hop="10.0.0.1")
+    prefix, attrs = gen.routes(1)[0]
+    speakers["a"].originate("v", prefix, attrs)
+    engine.advance(3.0)
+    route = speakers["b"].vrfs["v"].loc_rib.best(prefix)
+    assert route is not None
+    path = route.attributes.as_path.as_list()
+    # 3 policy prepends + the eBGP export prepend
+    assert path.count(64512) >= 4
+    assert 0xDEAD in route.attributes.communities
+
+
+def test_route_refresh_readvertises(engine, network):
+    speakers = _mesh(engine, network, {
+        "a": ("10.0.0.1", 64512),
+        "b": ("10.0.0.2", 65001),
+    })
+    session_a = _connect(engine, speakers, "a", "b")
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(6), 64512, next_hop="10.0.0.1")
+    speakers["a"].originate_many("v", gen.routes(50))
+    speakers["a"].readvertise(session_a)
+    engine.advance(3.0)
+    rib_b = speakers["b"].vrfs["v"].loc_rib
+    assert len(rib_b) == 50
+    # b wipes its table locally (simulating an operator clear) and asks
+    # for a refresh
+    session_b = next(iter(speakers["b"].sessions.values()))
+    for prefix in list(session_b.adj_rib_in.prefixes()):
+        session_b.adj_rib_in.withdraw(prefix)
+        rib_b.retract(prefix, session_b.peer_id)
+    assert len(rib_b) == 0
+    session_b.send_message(RouteRefreshMessage())
+    engine.advance(3.0)
+    assert len(rib_b) == 50
+
+
+def test_best_path_switchover_propagates(engine, network):
+    """When the best path changes upstream, downstream peers converge."""
+    speakers = _mesh(engine, network, {
+        "src1": ("10.0.0.1", 64512),
+        "src2": ("10.0.0.2", 64513),
+        "mid": ("10.0.0.3", 65001),
+        "sink": ("10.0.0.4", 64999),
+    })
+    _connect(engine, speakers, "src1", "mid")
+    _connect(engine, speakers, "src2", "mid")
+    _connect(engine, speakers, "sink", "mid")
+    for speaker in speakers.values():
+        speaker.start()
+    engine.advance(3.0)
+    gen = RouteGenerator(random.Random(7), 64512, next_hop="10.0.0.1")
+    prefix = Prefix.parse("203.0.113.0/24")
+    # src1 offers a long path; sink should first see it via src1
+    speakers["src1"].originate("v", prefix,
+                               gen.attr_pool[0].replace(as_path=gen.attr_pool[0].as_path.prepend(64512, 3)))
+    engine.advance(3.0)
+    sink_route = speakers["sink"].vrfs["v"].loc_rib.best(prefix)
+    assert sink_route is not None
+    first_path_len = sink_route.attributes.as_path.path_length()
+    # src2 offers a shorter path; mid switches best and re-advertises
+    speakers["src2"].originate("v", prefix, gen.attr_pool[1])
+    engine.advance(3.0)
+    sink_route = speakers["sink"].vrfs["v"].loc_rib.best(prefix)
+    assert sink_route.attributes.as_path.path_length() < first_path_len
+    assert 64513 in sink_route.attributes.as_path.as_list()

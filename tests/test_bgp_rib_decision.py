@@ -1,0 +1,200 @@
+"""RIBs and the decision process, including order-independence properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp import AdjRibIn, AsPath, LocRib, Origin, PathAttributes, Prefix
+from repro.bgp.decision import best_path
+from repro.bgp.rib import Route
+
+P1 = Prefix.parse("10.0.0.0/8")
+P2 = Prefix.parse("192.0.2.0/24")
+
+
+def _route(peer, prefix=P1, local_pref=None, path=(65001,), origin=Origin.IGP,
+           med=None, source_kind="ebgp"):
+    return Route(
+        prefix,
+        PathAttributes(
+            origin=origin,
+            as_path=AsPath.sequence(*path),
+            next_hop="1.1.1.1",
+            local_pref=local_pref,
+            med=med,
+        ),
+        peer,
+        source_kind,
+    )
+
+
+# -- Adj-RIB-In ---------------------------------------------------------------
+
+
+def test_adj_rib_in_update_and_withdraw():
+    rib = AdjRibIn("peer1")
+    route = _route("peer1")
+    assert rib.update(route) is None
+    assert rib.get(P1) is route
+    replacement = _route("peer1", local_pref=50)
+    assert rib.update(replacement) is route
+    assert rib.withdraw(P1) is replacement
+    assert rib.withdraw(P1) is None
+    assert len(rib) == 0
+
+
+def test_adj_rib_in_clear_returns_prefixes():
+    rib = AdjRibIn("p")
+    rib.update(_route("p", P1))
+    rib.update(_route("p", P2))
+    assert set(rib.clear()) == {P1, P2}
+
+
+# -- decision process ---------------------------------------------------------
+
+
+def test_higher_local_pref_wins():
+    low = _route("a", local_pref=100)
+    high = _route("b", local_pref=200)
+    assert best_path([low, high]) is high
+
+
+def test_missing_local_pref_defaults_100():
+    default = _route("a")
+    lower = _route("b", local_pref=50)
+    assert best_path([default, lower]) is default
+
+
+def test_shorter_as_path_wins():
+    short = _route("a", path=(65001,))
+    long = _route("b", path=(65001, 65002, 65003))
+    assert best_path([long, short]) is short
+
+
+def test_lower_origin_wins():
+    igp = _route("a", origin=Origin.IGP)
+    incomplete = _route("b", origin=Origin.INCOMPLETE)
+    assert best_path([incomplete, igp]) is igp
+
+
+def test_med_compared_within_same_first_as():
+    low_med = _route("a", path=(65001,), med=10)
+    high_med = _route("b", path=(65001,), med=50)
+    assert best_path([high_med, low_med]) is low_med
+
+
+def test_med_ignored_across_different_as():
+    a = _route("a", path=(65001,), med=50)
+    b = _route("b", path=(65002,), med=10)
+    # MED skipped; falls to peer tie-break ("a" < "b")
+    assert best_path([a, b]) is a
+
+
+def test_ebgp_beats_ibgp():
+    ebgp = _route("z-ebgp", source_kind="ebgp")
+    ibgp = _route("a-ibgp", source_kind="ibgp")
+    assert best_path([ibgp, ebgp]) is ebgp
+
+
+def test_deterministic_peer_tiebreak():
+    a = _route("peer-a")
+    b = _route("peer-b")
+    assert best_path([b, a]) is a
+
+
+def test_empty_candidates_returns_none():
+    assert best_path([]) is None
+
+
+# -- Loc-RIB ------------------------------------------------------------------
+
+
+def test_loc_rib_offer_and_best():
+    rib = LocRib()
+    old, new = rib.offer(_route("a", local_pref=100))
+    assert old is None and new.peer_id == "a"
+    old, new = rib.offer(_route("b", local_pref=200))
+    assert old.peer_id == "a" and new.peer_id == "b"
+    assert rib.best(P1).peer_id == "b"
+    assert len(rib) == 1
+
+
+def test_loc_rib_retract_falls_back():
+    rib = LocRib()
+    rib.offer(_route("a", local_pref=100))
+    rib.offer(_route("b", local_pref=200))
+    old, new = rib.retract(P1, "b")
+    assert old.peer_id == "b" and new.peer_id == "a"
+    old, new = rib.retract(P1, "a")
+    assert new is None
+    assert len(rib) == 0
+
+
+def test_loc_rib_retract_unknown_is_noop():
+    rib = LocRib()
+    rib.offer(_route("a"))
+    old, new = rib.retract(P1, "nobody")
+    assert old is new
+
+
+def test_loc_rib_candidates_view():
+    rib = LocRib()
+    rib.offer(_route("a"))
+    rib.offer(_route("b"))
+    assert set(rib.candidates(P1)) == {"a", "b"}
+
+
+def test_loc_rib_export_import_roundtrip():
+    rib = LocRib(local_as=65001, router_id=7)
+    rib.offer(_route("a", P1, local_pref=100))
+    rib.offer(_route("b", P1, local_pref=200))
+    rib.offer(_route("a", P2))
+    entries = rib.export_entries()
+    rebuilt = LocRib.import_entries(entries, 65001, 7)
+    assert len(rebuilt) == len(rib)
+    assert rebuilt.best(P1).peer_id == rib.best(P1).peer_id
+    assert set(rebuilt.candidates(P1)) == set(rib.candidates(P1))
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@st.composite
+def route_strategy(draw, peer_pool=("a", "b", "c", "d", "e")):
+    return _route(
+        draw(st.sampled_from(peer_pool)),
+        local_pref=draw(st.one_of(st.none(), st.integers(0, 500))),
+        path=tuple(draw(st.lists(st.integers(1, 2**16), min_size=1, max_size=5))),
+        origin=Origin(draw(st.integers(0, 2))),
+        med=draw(st.one_of(st.none(), st.integers(0, 100))),
+        source_kind=draw(st.sampled_from(("ebgp", "ibgp"))),
+    )
+
+
+@given(routes=st.lists(route_strategy(), min_size=1, max_size=8),
+       seed=st.randoms())
+def test_decision_order_independent(routes, seed):
+    """The winner is the same whatever order candidates are considered.
+
+    Candidate sets are per-peer unique in a real Loc-RIB (a dict keyed by
+    peer), so duplicate-peer routes are collapsed to the last one first.
+    """
+    by_peer = {route.peer_id: route for route in routes}
+    unique = list(by_peer.values())
+    shuffled = list(unique)
+    seed.shuffle(shuffled)
+    a = best_path(unique)
+    b = best_path(shuffled)
+    assert (a.peer_id, a.attributes.key()) == (b.peer_id, b.attributes.key())
+
+
+@given(routes=st.lists(route_strategy(), min_size=1, max_size=8))
+def test_loc_rib_matches_direct_selection(routes):
+    """Incremental offer() converges to the same best as one-shot selection."""
+    rib = LocRib()
+    for route in routes:
+        rib.offer(route)
+    last_by_peer = {}
+    for route in routes:
+        last_by_peer[route.peer_id] = route
+    expected = best_path(list(last_by_peer.values()))
+    assert rib.best(P1).peer_id == expected.peer_id

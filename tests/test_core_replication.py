@@ -1,0 +1,161 @@
+"""Replication pipeline: coalescing, ordering, pruning, compaction."""
+
+import pytest
+
+from repro.core.replication import (
+    ConnectionKeys,
+    ReplicationPipeline,
+    WriteCoalescer,
+    rib_delta_key,
+)
+from repro.kvstore import KvClient, KvServer
+from repro.sim import DeterministicRandom, Engine, Network
+
+
+@pytest.fixture
+def kv_env(engine):
+    network = Network(engine, DeterministicRandom(4))
+    network.enable_fabric(latency=5e-5)
+    client_host = network.add_host("c", "1.1.1.1")
+    server_host = network.add_host("s", "1.1.1.2")
+    server = KvServer(engine, server_host)
+    fast = KvClient(engine, client_host, "1.1.1.2")
+    bulk = KvClient(engine, client_host, "1.1.1.2")
+    return engine, server, fast, bulk
+
+
+def test_connection_keys_schema():
+    keys = ConnectionKeys("pair0", "v1", "10.0.0.1", 179, "192.0.2.1", 49152)
+    assert keys.session == "tensor:pair0:sess:v1|10.0.0.1:179|192.0.2.1:49152"
+    assert keys.message("i", 42).endswith(":i:0000000000000042")
+    assert keys.message("o", 7).startswith(keys.message_prefix("o"))
+
+
+def test_coalescer_writes_and_fires_callbacks(kv_env):
+    engine, server, fast, _bulk = kv_env
+    coalescer = WriteCoalescer(fast)
+    done = []
+    coalescer.set("a", 1, on_done=lambda: done.append("a"))
+    coalescer.set("b", 2, on_done=lambda: done.append("b"))
+    engine.run_until_idle()
+    assert done == ["a", "b"]
+    assert server.store.get("a") == 1
+    assert coalescer.records_written == 2
+
+
+def test_coalescer_batches_while_in_flight(kv_env):
+    engine, server, fast, _bulk = kv_env
+    coalescer = WriteCoalescer(fast)
+    coalescer.set("first", 1)
+    for i in range(100):
+        coalescer.set(f"k{i}", i)
+    engine.run_until_idle()
+    # first flush carries 1 record; the rest coalesce into few batches
+    assert coalescer.batches_flushed <= 5
+    assert len(server.store) == 101
+
+
+def test_coalescer_set_then_delete_ordering(kv_env):
+    engine, server, fast, _bulk = kv_env
+    coalescer = WriteCoalescer(fast)
+    coalescer.set("k", "v")
+    coalescer.delete("k")
+    engine.run_until_idle()
+    assert server.store.get("k") is None
+    assert coalescer.records_deleted == 1
+
+
+def test_coalescer_unavailable_callback_on_dead_server(kv_env):
+    engine, server, fast, _bulk = kv_env
+    server.fail()
+    lost = []
+    coalescer = WriteCoalescer(fast, on_unavailable=lost.append)
+    coalescer.set("k", "v")
+    engine.run(until=30.0)
+    assert lost and lost[0] >= 1
+    assert coalescer.failures > 0
+
+
+def test_pipeline_message_replication_ordered_per_connection(kv_env):
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    keys = ConnectionKeys("pair0", "v1", "10.0.0.1", 179, "192.0.2.1", 49152)
+    committed = []
+    pipeline.replicate_message(keys, "i", 100, {"m": 1},
+                               on_committed=lambda: committed.append(100))
+    pipeline.replicate_message(keys, "i", 200, {"m": 2},
+                               on_committed=lambda: committed.append(200))
+    engine.run_until_idle()
+    assert committed == [100, 200]
+    assert keys.message("i", 100) in server.store
+    assert keys.message("i", 200) in server.store
+
+
+def test_pipeline_cross_connection_concurrency(kv_env):
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    k1 = ConnectionKeys("pair0", "v1", "10.0.0.1", 179, "192.0.2.1", 49152)
+    k2 = ConnectionKeys("pair0", "v2", "10.0.0.1", 179, "192.0.2.2", 49153)
+    committed = []
+    pipeline.replicate_message(k1, "i", 1, {}, on_committed=lambda: committed.append("c1"))
+    pipeline.replicate_message(k2, "i", 1, {}, on_committed=lambda: committed.append("c2"))
+    engine.run_until_idle()
+    assert sorted(committed) == ["c1", "c2"]
+    assert pipeline.locks.contentions == 0  # different connections
+
+
+def test_pipeline_delete_message_prunes(kv_env):
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    keys = ConnectionKeys("pair0", "v1", "10.0.0.1", 179, "192.0.2.1", 49152)
+    pipeline.replicate_message(keys, "i", 1, {"m": 1}, on_committed=lambda: None)
+    engine.run_until_idle()
+    pipeline.delete_message(keys, "i", 1)
+    engine.run_until_idle()
+    assert keys.message("i", 1) not in server.store
+
+
+def test_rib_delta_sequencing(kv_env):
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    s0 = pipeline.record_rib_delta("v1", {"announce": [], "withdraw": [], "in_pos": 1})
+    s1 = pipeline.record_rib_delta("v1", {"announce": [], "withdraw": [], "in_pos": 2})
+    s_other = pipeline.record_rib_delta("v2", {"announce": [], "withdraw": [], "in_pos": 1})
+    engine.run_until_idle()
+    assert (s0, s1, s_other) == (0, 1, 0)
+    assert rib_delta_key("pair0", "v1", 0) in server.store
+
+
+def test_compaction_replaces_deltas_with_snapshot(kv_env):
+    from repro.bgp import LocRib, PathAttributes, Prefix
+    from repro.bgp.rib import Route
+
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    rib = LocRib()
+    for i in range(600):
+        rib.offer(Route(Prefix(i << 8, 24), PathAttributes(next_hop="1.1.1.1"), "p"))
+        pipeline.record_rib_delta("v1", {"announce": [], "withdraw": [], "in_pos": i})
+    engine.run_until_idle()
+    assert pipeline.needs_compaction("v1", threshold=500)
+    pipeline.compact("v1", rib)
+    engine.run_until_idle()
+    assert pipeline.compactions == 1
+    assert not pipeline.needs_compaction("v1", threshold=500)
+    # deltas purged, snapshot chunks + marker present
+    pairs = server.store.scan("tensor:pair0:rib:v1:d:")
+    assert pairs == []
+    marker = server.store.get("tensor:pair0:rib:v1:marker")
+    assert marker["chunks"] == 2  # 600 routes / 500 per chunk
+    chunks = server.store.scan("tensor:pair0:rib:v1:s:")
+    assert sum(len(entries) for _k, entries in chunks) == 600
+
+
+def test_verify_read_roundtrip(kv_env):
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    server.store.set("somekey", {"x": 1})
+    out = []
+    pipeline.verify_read("somekey", on_value=out.append)
+    engine.run_until_idle()
+    assert out == [{"x": 1}]

@@ -1,0 +1,27 @@
+"""The examples must stay runnable — they are executable documentation."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "split_containers.py", "fleet_operations.py",
+     "declarative_gateway.py"],
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints its story
+
+
+def test_failover_drill_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "failover_drill.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "host_machine" in out
+    assert "transient" in out

@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_fires_callback():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "x")
+    engine.run_until_idle()
+    assert fired == ["x"]
+    assert engine.now == 1.0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(2.0, order.append, "late")
+    engine.schedule(1.0, order.append, "early")
+    engine.schedule(3.0, order.append, "latest")
+    engine.run_until_idle()
+    assert order == ["early", "late", "latest"]
+
+
+def test_same_time_events_fire_fifo():
+    engine = Engine()
+    order = []
+    for i in range(10):
+        engine.schedule(1.0, order.append, i)
+    engine.run_until_idle()
+    assert order == list(range(10))
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(1.0, fired.append, "x")
+    event.cancel()
+    engine.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert engine.run_until_idle() == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-0.1, lambda: None)
+
+
+def test_non_finite_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        Engine().schedule(float("nan"), lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(5.0, fired.append, "b")
+    engine.run(until=2.0)
+    assert fired == ["a"]
+    assert engine.now == 2.0  # clock advanced to the horizon
+
+
+def test_run_until_then_resume():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(5.0, fired.append, "b")
+    engine.run(until=2.0)
+    engine.run_until_idle()
+    assert fired == ["a", "b"]
+    assert engine.now == 5.0
+
+
+def test_advance_moves_clock_by_duration():
+    engine = Engine()
+    engine.advance(3.5)
+    assert engine.now == 3.5
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    engine.advance(2.0)
+    times = []
+    engine.schedule_at(5.0, lambda: times.append(engine.now))
+    engine.run_until_idle()
+    assert times == [5.0]
+
+
+def test_call_soon_runs_at_current_instant():
+    engine = Engine()
+    engine.advance(1.0)
+    times = []
+    engine.call_soon(lambda: times.append(engine.now))
+    engine.run_until_idle()
+    assert times == [1.0]
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    fired = []
+
+    def first():
+        engine.schedule(1.0, fired.append, "second")
+
+    engine.schedule(1.0, first)
+    engine.run_until_idle()
+    assert fired == ["second"]
+    assert engine.now == 2.0
+
+
+def test_stop_halts_loop():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, engine.stop)
+    engine.schedule(2.0, fired.append, "x")
+    engine.run()
+    assert fired == []
+    assert engine.pending() == 1
+
+
+def test_max_events_bound():
+    engine = Engine()
+    for i in range(10):
+        engine.schedule(i * 0.1, lambda: None)
+    executed = engine.run(max_events=4)
+    assert executed == 4
+
+
+def test_run_until_idle_detects_runaway():
+    engine = Engine()
+
+    def loop():
+        engine.schedule(0.0, loop)
+
+    engine.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle(max_events=1000)
+
+
+def test_reentrant_run_rejected():
+    engine = Engine()
+
+    def inner():
+        engine.run()
+
+    engine.schedule(0.1, inner)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle()
+
+
+def test_pending_counts_only_live_events():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    cancelled = engine.schedule(2.0, lambda: None)
+    cancelled.cancel()
+    assert engine.pending() == 1
+
+
+def test_callback_args_passed_through():
+    engine = Engine()
+    got = []
+    engine.schedule(0.1, lambda a, b: got.append((a, b)), 1, "two")
+    engine.run_until_idle()
+    assert got == [(1, "two")]

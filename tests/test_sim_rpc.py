@@ -1,0 +1,147 @@
+"""Unit tests for the datagram/RPC layer."""
+
+import pytest
+
+from repro.sim import DeterministicRandom, Engine, Network
+from repro.sim.rpc import AsyncRpcServer, DatagramSocket, RpcClient, RpcServer
+
+
+@pytest.fixture
+def net(engine):
+    network = Network(engine, DeterministicRandom(5))
+    network.enable_fabric(latency=1e-4)
+    return network
+
+
+@pytest.fixture
+def hosts(net):
+    return net.add_host("a", "1.1.1.1"), net.add_host("b", "1.1.1.2")
+
+
+def test_datagram_roundtrip(engine, hosts):
+    a, b = hosts
+    sock_b = DatagramSocket(b, 9000)
+    got = []
+    sock_b.on_receive = lambda src, sport, payload: got.append((src, payload))
+    sock_a = DatagramSocket(a, 9001)
+    sock_a.sendto("1.1.1.2", 9000, {"hello": 1})
+    engine.run_until_idle()
+    assert got == [("1.1.1.1", {"hello": 1})]
+
+
+def test_datagram_src_override(engine, hosts):
+    a, b = hosts
+    sock_b = DatagramSocket(b, 9000)
+    got = []
+    sock_b.on_receive = lambda src, sport, payload: got.append(src)
+    DatagramSocket(a, 9001).sendto("1.1.1.2", 9000, "x", src_override="9.9.9.9")
+    engine.run_until_idle()
+    assert got == ["9.9.9.9"]
+
+
+def test_closed_socket_rejects_send(engine, hosts):
+    a, _b = hosts
+    sock = DatagramSocket(a, 9001)
+    sock.close()
+    with pytest.raises(Exception):
+        sock.sendto("1.1.1.2", 9000, "x")
+
+
+def test_rpc_reply(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda method, body: {"method": method, "x": body["x"] + 1})
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    got = []
+    client.call("inc", {"x": 1}, on_reply=got.append)
+    engine.run_until_idle()
+    assert got == [{"method": "inc", "x": 2}]
+    assert client.replies == 1
+
+
+def test_rpc_service_time_delays_reply(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda m, body: {}, service_time=lambda m, b_: 0.05)
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    times = []
+    client.call("op", {}, on_reply=lambda rep: times.append(engine.now))
+    engine.run_until_idle()
+    assert times[0] >= 0.05
+
+
+def test_rpc_timeout_on_dead_server(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda m, body: {})
+    b.fail()
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    outcomes = []
+    client.call(
+        "op", {}, on_reply=lambda rep: outcomes.append("reply"),
+        on_timeout=lambda: outcomes.append("timeout"), timeout=0.2,
+    )
+    engine.run_until_idle()
+    assert outcomes == ["timeout"]
+    assert client.timeouts == 1
+
+
+def test_rpc_late_reply_after_timeout_dropped(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda m, body: {}, service_time=lambda m, b_: 1.0)
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    outcomes = []
+    client.call(
+        "op", {}, on_reply=lambda rep: outcomes.append("reply"),
+        on_timeout=lambda: outcomes.append("timeout"), timeout=0.2,
+    )
+    engine.run_until_idle()
+    assert outcomes == ["timeout"]  # the 1 s reply arrives but is dropped
+
+
+def test_rpc_concurrent_requests_matched_by_id(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda m, body: {"id": body["id"]})
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    got = []
+    for i in range(5):
+        client.call("op", {"id": i}, on_reply=lambda rep: got.append(rep["id"]))
+    engine.run_until_idle()
+    assert sorted(got) == [0, 1, 2, 3, 4]
+
+
+def test_rpc_cancel_all(engine, hosts):
+    a, b = hosts
+    RpcServer(engine, b, 7000, lambda m, body: {}, service_time=lambda m, b_: 0.5)
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    outcomes = []
+    client.call("op", {}, on_reply=lambda rep: outcomes.append("reply"),
+                on_timeout=lambda: outcomes.append("timeout"))
+    client.cancel_all()
+    engine.run_until_idle()
+    assert outcomes == []
+
+
+def test_async_rpc_server_deferred_reply(engine, hosts):
+    a, b = hosts
+
+    def handler(method, body, respond):
+        engine.schedule(0.3, respond, {"deferred": True})
+
+    AsyncRpcServer(engine, b, 7000, handler)
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    times = []
+    client.call("op", {}, on_reply=lambda rep: times.append((engine.now, rep)))
+    engine.run_until_idle()
+    assert times and times[0][0] >= 0.3
+    assert times[0][1]["deferred"] is True
+
+
+def test_rpc_across_partition_times_out(engine, net):
+    a = net.add_host("a", "1.1.1.1")
+    b = net.add_host("b", "1.1.1.2")
+    RpcServer(engine, b, 7000, lambda m, body: {})
+    b.fail_network()
+    client = RpcClient(engine, a, "1.1.1.2", 7000)
+    outcomes = []
+    client.call("op", {}, on_reply=lambda r: outcomes.append("reply"),
+                on_timeout=lambda: outcomes.append("timeout"), timeout=0.2)
+    engine.run_until_idle()
+    assert outcomes == ["timeout"]
