@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-hotpath bench-gate
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks --benchmark-only
+
+bench-hotpath:
+	$(PYTHON) -m pytest benchmarks/bench_hotpath.py -q
+
+# Fails (non-zero) when any hot-path metric in a fresh run is >20%
+# slower than the committed BENCH_hotpath.json baseline.
+bench-gate:
+	$(PYTHON) benchmarks/check_bench_regression.py

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Hot-path benchmark regression gate (``make bench-gate``).
+
+Runs ``benchmarks/bench_hotpath.py`` to produce a fresh
+``BENCH_hotpath.json``, then compares every ops/sec figure against the
+committed baseline: any metric more than ``THRESHOLD`` (20%) slower
+fails with a non-zero exit.  Faster-than-baseline results are reported
+but never fail — commit the regenerated file to ratchet the baseline.
+
+Usage:
+    python benchmarks/check_bench_regression.py [--baseline PATH] [--skip-run]
+
+``--skip-run`` compares an already-generated BENCH_hotpath.json instead
+of re-running the benchmarks (useful when iterating on the gate itself).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_hotpath.json"
+THRESHOLD = 0.20  # fail when fresh ops/sec < (1 - THRESHOLD) * baseline
+
+
+def run_benchmarks():
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_hotpath.py"),
+        "-q", "--benchmark-disable-gc",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        sys.exit("bench-gate: benchmark run failed")
+
+
+def compare(baseline, fresh):
+    failures = []
+    for name, entry in sorted(baseline["results"].items()):
+        base_ops = entry["ops_per_sec"]
+        fresh_entry = fresh["results"].get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        fresh_ops = fresh_entry["ops_per_sec"]
+        ratio = fresh_ops / base_ops if base_ops else float("inf")
+        status = "ok"
+        if ratio < 1.0 - THRESHOLD:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {fresh_ops:,.0f} ops/s vs baseline "
+                f"{base_ops:,.0f} ({ratio:.0%})"
+            )
+        print(f"  {name:28s} {fresh_ops:>14,.0f} ops/s  {ratio:>6.0%}  {status}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON (default: committed BENCH_hotpath.json)")
+    parser.add_argument("--skip-run", action="store_true",
+                        help="compare the existing BENCH_hotpath.json without re-running")
+    args = parser.parse_args()
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+    else:
+        # The working-tree file is about to be overwritten by the fresh
+        # run, so the committed copy is the baseline of record.
+        show = subprocess.run(
+            ["git", "show", f"HEAD:{RESULTS_PATH.name}"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        if show.returncode != 0:
+            sys.exit("bench-gate: no committed BENCH_hotpath.json baseline "
+                     "(pass --baseline PATH)")
+        baseline = json.loads(show.stdout)
+
+    if not args.skip_run:
+        run_benchmarks()
+    fresh = json.loads(RESULTS_PATH.read_text())
+
+    print(f"bench-gate: threshold {THRESHOLD:.0%} against "
+          f"{args.baseline or 'committed baseline'}")
+    failures = compare(baseline, fresh)
+    if failures:
+        print("bench-gate: FAILED")
+        for line in failures:
+            print(f"  - {line}")
+        sys.exit(1)
+    print("bench-gate: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -145,7 +145,14 @@ class AsPath:
 
 
 class PathAttributes:
-    """The attribute set of a route; hashable so packing can group by it."""
+    """The attribute set of a route; hashable so packing can group by it.
+
+    Instances MUST be treated as immutable once constructed: the wire
+    encoding, the packing key and the hash are all computed lazily and
+    cached on the instance, and identical attribute sets may be interned
+    into shared flyweight objects (see :meth:`intern`).  Derive modified
+    attribute sets with :meth:`replace`, never by assigning to fields.
+    """
 
     __slots__ = (
         "origin",
@@ -157,7 +164,16 @@ class PathAttributes:
         "aggregator",
         "communities",
         "unknown",
+        "_wire",
+        "_key",
+        "_hash",
     )
+
+    #: Flyweight table: wire bytes -> canonical instance.  Bounded so a
+    #: pathological workload of unique attribute sets cannot grow it
+    #: without limit; clearing only costs re-encoding, never correctness.
+    _intern_table = {}
+    _INTERN_LIMIT = 65536
 
     def __init__(
         self,
@@ -180,20 +196,41 @@ class PathAttributes:
         self.aggregator = aggregator  # (asn, dotted-quad) or None
         self.communities = tuple(communities)
         self.unknown = tuple(unknown)  # raw (flags, type, value) passthrough
+        self._wire = None
+        self._key = None
+        self._hash = None
 
     def key(self):
         """Identity for update packing: routes sharing a key share UPDATEs."""
-        return (
-            self.origin,
-            self.as_path,
-            self.next_hop,
-            self.med,
-            self.local_pref,
-            self.atomic_aggregate,
-            self.aggregator,
-            self.communities,
-            self.unknown,
-        )
+        key = self._key
+        if key is None:
+            key = self._key = (
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.atomic_aggregate,
+                self.aggregator,
+                self.communities,
+                self.unknown,
+            )
+        return key
+
+    @classmethod
+    def intern(cls, attributes):
+        """Return the canonical instance for this attribute set.
+
+        Attribute sets are flyweighted by their wire encoding: the first
+        instance seen for a given encoding becomes canonical and later
+        equal sets resolve to it, so a table of a million routes sharing
+        a few thousand attribute sets stores (and re-encodes) each set
+        once.  Safe because instances are immutable by contract.
+        """
+        table = cls._intern_table
+        if len(table) > cls._INTERN_LIMIT:
+            table.clear()
+        return table.setdefault(attributes.to_wire(), attributes)
 
     def replace(self, **overrides):
         """Return a modified copy (policy actions use this)."""
@@ -214,6 +251,12 @@ class PathAttributes:
     # -- wire format ---------------------------------------------------------
 
     def to_wire(self):
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = self._encode()
+        return wire
+
+    def _encode(self):
         out = bytearray()
         out += _encode_attr(FLAG_TRANSITIVE, TYPE_ORIGIN, bytes([self.origin]))
         out += _encode_attr(FLAG_TRANSITIVE, TYPE_AS_PATH, self.as_path.to_wire())
@@ -245,7 +288,19 @@ class PathAttributes:
         return bytes(out)
 
     @classmethod
-    def from_wire(cls, data):
+    def from_wire(cls, data, intern=True):
+        """Decode ``data``; with ``intern`` (the default) equal attribute
+        sets decoded repeatedly resolve to one shared flyweight instance,
+        which makes the receive hot path O(1) per already-seen set."""
+        if intern:
+            cached = cls._intern_table.get(data)
+            if cached is not None:
+                return cached
+        decoded = cls._decode(data)
+        return cls.intern(decoded) if intern else decoded
+
+    @classmethod
+    def _decode(cls, data):
         fields = {}
         unknown = []
         offset = 0
@@ -299,10 +354,15 @@ class PathAttributes:
         return cls(**fields)
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, PathAttributes) and self.key() == other.key()
 
     def __hash__(self):
-        return hash(self.key())
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self.key())
+        return value
 
     def __repr__(self):
         return (

@@ -24,6 +24,17 @@ def best_path(candidates):
     return best
 
 
+def prefer(challenger, incumbent):
+    """True when ``challenger`` beats ``incumbent``.
+
+    Public entry point for the Loc-RIB's incremental re-selection: a
+    newly offered candidate is appended to the prefix's candidate order,
+    so comparing it against the current best is exactly the last step of
+    the :func:`best_path` linear scan.
+    """
+    return _prefer(challenger, incumbent)
+
+
 def _prefer(a, b):
     """True when route ``a`` beats route ``b``."""
     # 1. Highest LOCAL_PREF.

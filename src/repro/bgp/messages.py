@@ -85,16 +85,31 @@ class OpenMessage:
 
 
 class UpdateMessage:
-    """UPDATE: withdrawn prefixes, path attributes, NLRI."""
+    """UPDATE: withdrawn prefixes, path attributes, NLRI.
+
+    Treated as immutable after construction: the wire encoding is
+    memoized so the pack-once fan-out can hand one message object to
+    hundreds of peers and only serialize it the first time.
+    """
 
     msg_type = TYPE_UPDATE
+
+    __slots__ = ("withdrawn", "attributes", "nlri", "_wire", "_pack_key")
 
     def __init__(self, withdrawn=(), attributes=None, nlri=()):
         self.withdrawn = tuple(withdrawn)
         self.attributes = attributes  # PathAttributes or None (pure withdraw)
         self.nlri = tuple(nlri)
+        self._wire = None
+        self._pack_key = None  # speaker's cross-peer generation-cache key
 
     def to_wire(self):
+        wire = self._wire
+        if wire is None:
+            wire = self._wire = self._encode()
+        return wire
+
+    def _encode(self):
         withdrawn_wire = b"".join(p.to_wire() for p in self.withdrawn)
         attrs_wire = self.attributes.to_wire() if self.attributes else b""
         nlri_wire = b"".join(p.to_wire() for p in self.nlri)
@@ -182,18 +197,25 @@ class NotificationMessage:
 
 
 class KeepaliveMessage:
-    """KEEPALIVE: header only."""
+    """KEEPALIVE: header only (the wire image is a shared constant)."""
 
     msg_type = TYPE_KEEPALIVE
 
+    __slots__ = ()
+
+    _WIRE = None  # filled in below, after _header is usable
+
     def to_wire(self):
-        return _header(self.msg_type, 0)
+        return KeepaliveMessage._WIRE
 
     def __eq__(self, other):
         return isinstance(other, KeepaliveMessage)
 
     def __repr__(self):
         return "<Keepalive>"
+
+
+KeepaliveMessage._WIRE = _header(TYPE_KEEPALIVE, 0)
 
 
 class RouteRefreshMessage:

@@ -5,7 +5,7 @@ Adj-RIB-In; the decision process selects one best route per prefix into
 the Loc-RIB; per-peer Adj-RIB-Out holds what has been advertised.
 """
 
-from repro.bgp.decision import best_path
+from repro.bgp.decision import best_path, prefer
 
 
 class Route:
@@ -26,6 +26,12 @@ class Route:
             self.peer_id,
             self.source_kind,
         ) == (other.prefix, other.attributes, other.peer_id, other.source_kind)
+
+    def __hash__(self):
+        # Defining __eq__ alone would set __hash__ to None and make
+        # routes silently unusable in sets/dicts; hash by the same value
+        # identity __eq__ compares.
+        return hash((self.prefix, self.attributes, self.peer_id, self.source_kind))
 
     def __repr__(self):
         return f"<Route {self.prefix} via {self.peer_id} ({self.source_kind})>"
@@ -74,28 +80,72 @@ class LocRib:
         self.router_id = router_id
         self._best = {}  # prefix -> Route
         self._candidates = {}  # prefix -> {peer_id: Route}
+        #: Number of best-path selections actually executed: incremental
+        #: challenger-vs-incumbent comparisons and full re-scans.  No-op
+        #: retracts and trivial single-candidate adoptions do not count.
         self.decision_runs = 0
+        #: Monotone change counter for incremental snapshots; bumped on
+        #: every candidate-set mutation (see export_entries_since).
+        self.export_seq = 0
+        self._changed = {}  # prefix -> export_seq of last mutation
+
+    def _touch(self, prefix):
+        self.export_seq += 1
+        self._changed[prefix] = self.export_seq
 
     def offer(self, route):
         """Add/replace a candidate path and re-run selection for its prefix.
 
         Returns (old_best, new_best); identical values mean no change.
+
+        Selection is incremental: a candidate from a new peer is appended
+        to the prefix's candidate order, so one comparison against the
+        incumbent best finishes the :func:`best_path` linear scan.  Only
+        when the incumbent itself is displaced (the offering peer *is*
+        the best's peer) does a full re-scan run.
         """
-        candidates = self._candidates.setdefault(route.prefix, {})
+        prefix = route.prefix
+        self._touch(prefix)
+        candidates = self._candidates.setdefault(prefix, {})
         candidates[route.peer_id] = route
-        return self._reselect(route.prefix)
+        old = self._best.get(prefix)
+        if old is None:
+            # First (or only) candidate: trivially best, nothing to compare.
+            self._best[prefix] = route
+            return None, route
+        if route.peer_id == old.peer_id:
+            if len(candidates) == 1:
+                # Replaced the lone candidate: still trivially best.
+                self._best[prefix] = route
+                return old, route
+            return self._full_reselect(prefix)
+        self.decision_runs += 1
+        if prefer(route, old):
+            self._best[prefix] = route
+            return old, route
+        return old, old
 
     def retract(self, prefix, peer_id):
-        """Drop a peer's candidate and re-run selection for the prefix."""
+        """Drop a peer's candidate and re-run selection for the prefix.
+
+        Removing a non-best candidate leaves the best untouched; only
+        losing the best itself triggers a full re-scan.
+        """
         candidates = self._candidates.get(prefix)
         if not candidates or peer_id not in candidates:
             return self._best.get(prefix), self._best.get(prefix)
         del candidates[peer_id]
+        self._touch(prefix)
+        old = self._best.get(prefix)
         if not candidates:
             del self._candidates[prefix]
-        return self._reselect(prefix)
+            self._best.pop(prefix, None)
+            return old, None
+        if old is not None and old.peer_id != peer_id:
+            return old, old
+        return self._full_reselect(prefix)
 
-    def _reselect(self, prefix):
+    def _full_reselect(self, prefix):
         self.decision_runs += 1
         old = self._best.get(prefix)
         candidates = self._candidates.get(prefix)
@@ -127,16 +177,46 @@ class LocRib:
         """Serializable view of every candidate path (sorted for determinism)."""
         entries = []
         for prefix in sorted(self._candidates):
-            for peer_id, route in sorted(self._candidates[prefix].items(), key=lambda kv: str(kv[0])):
-                entries.append(
-                    {
-                        "prefix": str(prefix),
-                        "peer_id": peer_id,
-                        "source_kind": route.source_kind,
-                        "attributes": route.attributes.to_wire(),
-                    }
-                )
+            entries.extend(self.export_prefix_entries(prefix))
         return entries
+
+    def export_prefix_entries(self, prefix):
+        """The :meth:`export_entries` records for one prefix (possibly [])."""
+        candidates = self._candidates.get(prefix)
+        if not candidates:
+            return []
+        return [
+            {
+                "prefix": str(prefix),
+                "peer_id": peer_id,
+                "source_kind": route.source_kind,
+                "attributes": route.attributes.to_wire(),
+            }
+            for peer_id, route in sorted(candidates.items(), key=lambda kv: str(kv[0]))
+        ]
+
+    def export_entries_since(self, seq):
+        """Incremental snapshot: what changed after change-counter ``seq``.
+
+        Returns ``(export_seq, dirty)`` where ``dirty`` maps each prefix
+        mutated since ``seq`` to its *current* entry list (empty when the
+        prefix no longer has candidates).  Single-consumer protocol: the
+        caller passes back the returned ``export_seq`` next time, and
+        change records at or below the consumed watermark are pruned.
+        """
+        dirty = {}
+        if seq >= self.export_seq:
+            return self.export_seq, dirty
+        changed = self._changed
+        stale = []
+        for prefix, changed_at in changed.items():
+            if changed_at > seq:
+                dirty[prefix] = self.export_prefix_entries(prefix)
+            else:
+                stale.append(prefix)
+        for prefix in stale:
+            del changed[prefix]
+        return self.export_seq, dirty
 
     @classmethod
     def import_entries(cls, entries, local_as=0, router_id=0):

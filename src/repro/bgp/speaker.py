@@ -82,6 +82,32 @@ class SpeakerConfig:
         return PER_PEER_SESSION_COST[self.profile]
 
 
+class _FanoutPlan:
+    """Shared per-export state for one advertisement fan-out.
+
+    Memoizes the AFI split and the packed UPDATE messages so a group of
+    sessions with identical exports serializes and packs exactly once;
+    per-peer state (Adj-RIB-Out records, CPU charges) stays per session.
+    """
+
+    __slots__ = ("export", "_split", "_messages")
+
+    def __init__(self, export):
+        self.export = export
+        self._split = None
+        self._messages = None
+
+    def split(self, speaker):
+        if self._split is None:
+            self._split = speaker._split_by_afi(self.export)
+        return self._split
+
+    def packed(self, v4_export):
+        if self._messages is None:
+            self._messages = pack_routes(v4_export)
+        return self._messages
+
+
 class BgpSpeaker:
     """One BGP process: VRFs, peers, CPU model, advertisement engine."""
 
@@ -361,6 +387,11 @@ class BgpSpeaker:
         if not self.running:
             return
         pending, self._pending_adverts = self._pending_adverts, {}
+        # Group sessions whose queued change-set is identical (the common
+        # fan-out case: one received UPDATE propagating to N-1 peers), so
+        # advertise_routes_to_sessions can export and pack once per group
+        # instead of once per peer.
+        groups = {}  # change signature -> (announcements, [sessions])
         for peer_id, changes in pending.items():
             session = self.sessions.get(peer_id)
             if session is None or not session.established:
@@ -376,7 +407,16 @@ class BgpSpeaker:
             if withdrawals:
                 self._send_withdrawals(session, withdrawals)
             if announcements:
-                self.advertise_routes_to_sessions(announcements, [session])
+                signature = tuple(
+                    (prefix, id(attributes)) for prefix, attributes in announcements
+                )
+                group = groups.get(signature)
+                if group is None:
+                    groups[signature] = (announcements, [session])
+                else:
+                    group[1].append(session)
+        for announcements, sessions in groups.values():
+            self.advertise_routes_to_sessions(announcements, sessions)
 
     def _send_withdrawals(self, session, prefixes):
         for message in pack_withdrawals(prefixes):
@@ -391,16 +431,28 @@ class BgpSpeaker:
         packed attribute set; further peers pay only the copy cost
         (§4.2 "update packing").  Without packing (GoBGP), every peer pays
         full generation for every route, one UPDATE per route.
+
+        Pack-once: sessions sharing an export policy and session kind
+        produce identical exports, so the export, the AFI split and the
+        packed UPDATE messages are computed once per distinct
+        (policy, kind) pair and the *same* message objects fan out to
+        every matching peer — their memoized ``to_wire`` serializes once.
         """
+        shared = {}  # (export_policy id, source_kind) -> _FanoutPlan
         for session in sessions:
-            export = self._export_routes(session, routes)
-            if not export:
+            plan_key = (id(session.config.export_policy), session.source_kind)
+            plan = shared.get(plan_key)
+            if plan is None:
+                plan = shared[plan_key] = _FanoutPlan(
+                    self._export_routes(session, routes)
+                )
+            if not plan.export:
                 continue
             self.charge(self._per_peer_fanout_cost(), lambda: None)
             if self.config.update_packing:
-                self._advertise_packed(session, export)
+                self._advertise_packed(session, plan)
             else:
-                self._advertise_unpacked(session, export)
+                self._advertise_unpacked(session, plan)
 
     def _per_peer_fanout_cost(self):
         cost = self.config.per_peer_cost
@@ -409,22 +461,45 @@ class BgpSpeaker:
         return cost
 
     def _export_routes(self, session, routes):
-        """Apply export policy + eBGP attribute rules for one peer."""
+        """Apply export policy + eBGP attribute rules for one peer.
+
+        The post-policy attribute rewrite is memoized per distinct
+        attribute set (routes packed into one received UPDATE share
+        their ``PathAttributes``), and rewritten sets are interned so
+        successive fan-out rounds reuse one flyweight whose wire
+        encoding is already cached.
+        """
+        from repro.bgp.attributes import PathAttributes
+
         local_as = self.config.local_as
         is_ebgp = session.source_kind == "ebgp"
+        evaluate = session.config.export_policy.evaluate
+        rewritten = {}  # post-policy attributes -> rewritten attributes
         out = []
         for prefix, attributes in routes:
-            exported = session.config.export_policy.evaluate(prefix, attributes)
+            exported = evaluate(prefix, attributes)
             if exported is None:
                 continue
             if is_ebgp:
-                exported = exported.replace(
-                    as_path=exported.as_path.prepend(local_as),
-                    next_hop=self.stack.host.address,
-                    local_pref=None,
-                )
+                cached = rewritten.get(exported)
+                if cached is None:
+                    cached = PathAttributes.intern(
+                        exported.replace(
+                            as_path=exported.as_path.prepend(local_as),
+                            next_hop=self.stack.host.address,
+                            local_pref=None,
+                        )
+                    )
+                    rewritten[exported] = cached
+                exported = cached
             elif exported.next_hop is None:
-                exported = exported.replace(next_hop=self.stack.host.address)
+                cached = rewritten.get(exported)
+                if cached is None:
+                    cached = PathAttributes.intern(
+                        exported.replace(next_hop=self.stack.host.address)
+                    )
+                    rewritten[exported] = cached
+                exported = cached
             out.append((prefix, exported))
         return out
 
@@ -456,19 +531,22 @@ class BgpSpeaker:
             v6_messages.append((UpdateMessage(attributes=mp_attrs), len(prefixes)))
         return v4, v6_messages
 
-    def _advertise_packed(self, session, export):
-        export, v6_messages = self._split_by_afi(export)
-        for message, route_count in v6_messages:
-            from repro.bgp.multiprotocol import mp_routes_of
+    def _advertise_packed(self, session, plan):
+        from repro.bgp.multiprotocol import mp_routes_of
 
+        v4_export, v6_messages = plan.split(self)
+        for message, route_count in v6_messages:
             reach, _unreach = mp_routes_of(message.attributes)
             for prefix in reach.nlri:
                 session.adj_rib_out.record_advertise(prefix, message.attributes)
             cost = CONTROL_MESSAGE_COST + self.config.send_cost * route_count
             self.dispatch_send(session, message, generation_cost=cost)
-        messages = pack_routes(export)
-        for message in messages:
-            cache_key = (message.attributes.key(), tuple(message.nlri))
+        for message in plan.packed(v4_export):
+            cache_key = message._pack_key
+            if cache_key is None:
+                cache_key = message._pack_key = (
+                    message.attributes.key(), message.nlri,
+                )
             if cache_key in self._generation_cache:
                 cost = CONTROL_MESSAGE_COST + self.config.packed_copy_cost * len(message.nlri)
             else:
@@ -480,12 +558,12 @@ class BgpSpeaker:
                 session.adj_rib_out.record_advertise(prefix, message.attributes)
             self.dispatch_send(session, message, generation_cost=cost)
 
-    def _advertise_unpacked(self, session, export):
-        export, v6_messages = self._split_by_afi(export)
+    def _advertise_unpacked(self, session, plan):
+        v4_export, v6_messages = plan.split(self)
         for message, route_count in v6_messages:
             cost = CONTROL_MESSAGE_COST + self.config.send_cost * route_count
             self.dispatch_send(session, message, generation_cost=cost)
-        for prefix, attributes in export:
+        for prefix, attributes in v4_export:
             session.adj_rib_out.record_advertise(prefix, attributes)
             self.dispatch_send(session, UpdateMessage(attributes=attributes, nlri=[prefix]))
 

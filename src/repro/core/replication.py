@@ -26,6 +26,8 @@ routing-table writes:
   watermark updates, periodic compaction.
 """
 
+import zlib
+
 from repro.kvstore.locks import LockManager
 
 #: Compact RIB deltas into snapshot chunks past this many deltas per VRF.
@@ -76,6 +78,16 @@ def pair_prefix(pair_name):
     return f"tensor:{pair_name}:"
 
 
+def _bucket_of(prefix, buckets):
+    """Stable chunk assignment for a prefix.
+
+    Must be deterministic across processes and runs (recovery re-reads
+    chunks written by an earlier incarnation), so Python's randomized
+    ``hash()`` is out; CRC-32 of the textual prefix is stable and cheap.
+    """
+    return zlib.crc32(str(prefix).encode()) % buckets
+
+
 class WriteCoalescer:
     """Batches sets/deletes to one KV client, one batch in flight.
 
@@ -87,13 +99,24 @@ class WriteCoalescer:
     Failed batches are retried; persistent unavailability surfaces
     through ``on_unavailable``, on which the caller keeps ACKs held (the
     fail-safe direction).
+
+    Batch sizing is adaptive: ``batch_limit`` starts at ``max_batch``,
+    doubles (up to ``max_batch_cap``) while the backlog outruns it, and
+    decays back toward ``max_batch`` once the queue drains — amortizing
+    per-operation base cost under load without letting an idle channel
+    hold huge batches.
     """
 
-    def __init__(self, client, max_batch=512, on_unavailable=None):
+    def __init__(self, client, max_batch=512, on_unavailable=None,
+                 max_batch_cap=None):
         self.client = client
         self.max_batch = max_batch
+        self.max_batch_cap = max_batch_cap if max_batch_cap is not None else max_batch * 8
+        self.batch_limit = max_batch
         self.on_unavailable = on_unavailable
-        self._pending = []  # ("set", key, value, cb) | ("delete", key, None, cb)
+        # ("set", key, value, cb) | ("delete", key, None, cb)
+        # | ("mdelete", keys_tuple, None, cb)
+        self._pending = []
         self._in_flight = False
         self.batches_flushed = 0
         self.records_written = 0
@@ -108,23 +131,55 @@ class WriteCoalescer:
         self._pending.append(("delete", key, None, on_done))
         self._maybe_flush()
 
+    def delete_many(self, keys, on_done=None):
+        """Enqueue one pre-batched delete of ``keys`` (a ranged purge).
+
+        The whole group travels as a single queue entry — enqueueing N
+        keys costs one append instead of N — and flushes inside a normal
+        delete run, so ordering against neighbouring sets still holds.
+        ``on_done`` fires once for the group.
+        """
+        keys = tuple(keys)
+        if not keys:
+            if on_done is not None:
+                on_done()
+            return
+        self._pending.append(("mdelete", keys, None, on_done))
+        self._maybe_flush()
+
     @property
     def backlog(self):
-        return len(self._pending)
+        total = 0
+        for op in self._pending:
+            total += len(op[1]) if op[0] == "mdelete" else 1
+        return total
 
     def _maybe_flush(self):
         if not self._in_flight and self._pending:
             self._in_flight = True
             self._flush_run()
 
+    def _adapt_batch_limit(self):
+        backlog = len(self._pending)
+        if backlog > self.batch_limit:
+            self.batch_limit = min(self.batch_limit * 2, self.max_batch_cap)
+        elif backlog <= self.max_batch and self.batch_limit > self.max_batch:
+            self.batch_limit = max(self.max_batch, self.batch_limit // 2)
+
     def _take_run(self):
-        """Pop the longest same-kind prefix of the queue (<= max_batch)."""
-        kind = self._pending[0][0]
+        """Pop the longest same-kind prefix of the queue (<= batch_limit
+        records; single-key deletes and ranged mdeletes share runs)."""
+        self._adapt_batch_limit()
+        head_kind = self._pending[0][0]
+        kind = "delete" if head_kind in ("delete", "mdelete") else head_kind
         count = 0
+        records = 0
         for op in self._pending:
-            if op[0] != kind or count >= self.max_batch:
+            op_kind = "delete" if op[0] in ("delete", "mdelete") else op[0]
+            if op_kind != kind or records >= self.batch_limit:
                 break
             count += 1
+            records += len(op[1]) if op[0] == "mdelete" else 1
         run, self._pending = self._pending[:count], self._pending[count:]
         return kind, run
 
@@ -154,16 +209,21 @@ class WriteCoalescer:
             if retries > 0:
                 self._issue_sets(run, retries - 1)
             else:
-                self._give_up(len(run))
+                self._give_up(self._record_count(run))
 
         self.client.mset(items, on_done=on_done, on_error=on_error)
 
     def _issue_deletes(self, run, retries):
-        keys = [key for _kind, key, _value, _cb in run]
+        keys = []
+        for kind, key, _value, _cb in run:
+            if kind == "mdelete":
+                keys.extend(key)
+            else:
+                keys.append(key)
 
         def on_done(_removed):
             self.batches_flushed += 1
-            self.records_deleted += len(run)
+            self.records_deleted += len(keys)
             for _kind, _key, _value, callback in run:
                 if callback is not None:
                     callback()
@@ -174,12 +234,21 @@ class WriteCoalescer:
             if retries > 0:
                 self._issue_deletes(run, retries - 1)
             else:
-                self._give_up(len(run))
+                self._give_up(self._record_count(run))
 
         self.client.delete(keys, on_done=on_done, on_error=on_error)
 
+    @staticmethod
+    def _record_count(run):
+        return sum(len(op[1]) if op[0] == "mdelete" else 1 for op in run)
+
     def _give_up(self, dropped):
-        """Database unavailable: stop retrying, keep the system fail-safe."""
+        """Database unavailable: stop retrying, keep the system fail-safe.
+
+        ``dropped`` counts the records abandoned with this batch; their
+        per-op callbacks never fire, and the in-flight flag resets so a
+        later enqueue can resume flushing if the database returns.
+        """
         self._in_flight = False
         if self.on_unavailable is not None:
             self.on_unavailable(dropped)
@@ -217,7 +286,13 @@ class ReplicationPipeline:
         self._delta_seq = {}  # vrf -> next delta sequence number
         self._delta_live = {}  # vrf -> count of live (uncompacted) deltas
         self._delta_floor = {}  # vrf -> first live delta seq
+        # Incremental-snapshot bookkeeping, per vrf: stable hash-bucket
+        # assignment of prefixes to snapshot chunks plus the Loc-RIB
+        # change-counter watermark consumed by the last compaction.
+        self._snapshot_state = {}  # vrf -> {"buckets", "export_seq", "members", "total"}
         self.compactions = 0
+        self.incremental_compactions = 0
+        self.snapshot_chunks_written = 0
 
     # ------------------------------------------------------------------
     # message replication (fast channel, per-connection ordering)
@@ -304,30 +379,95 @@ class ReplicationPipeline:
         return self._delta_live.get(vrf, 0) >= threshold
 
     def compact(self, vrf, loc_rib, on_done=None):
-        """Replace accumulated deltas with chunked snapshot records."""
+        """Replace accumulated deltas with chunked snapshot records.
+
+        Prefixes are assigned to snapshot chunks by a stable hash, so a
+        compaction only rewrites the chunks holding prefixes that changed
+        since the previous one (plus the marker); the first compaction —
+        or one following enough growth/shrinkage to force re-bucketing —
+        writes the full table.
+        """
         self.compactions += 1
-        entries = loc_rib.export_entries()
-        chunks = [
-            entries[i : i + SNAPSHOT_CHUNK_ROUTES]
-            for i in range(0, len(entries), SNAPSHOT_CHUNK_ROUTES)
-        ] or [[]]
-        for index, chunk in enumerate(chunks):
-            self.bulk.set(rib_snapshot_key(self.pair_name, vrf, index), chunk)
-        # Snapshot marker: how many chunks are current; readers ignore stale
-        # higher-numbered chunks from earlier, larger snapshots.
-        marker = {"chunks": len(chunks), "delta_floor": self._delta_seq.get(vrf, 0)}
+        state = self._snapshot_state.get(vrf)
+        if state is None:
+            state = self._snapshot_state[vrf] = {
+                "buckets": 0,      # chunk count of the current snapshot
+                "export_seq": 0,   # Loc-RIB change watermark consumed
+                "members": {},     # chunk index -> set of prefix objects
+                "sizes": {},       # prefix -> live entry count
+                "total": 0,        # entries across all chunks
+            }
+        export_seq, dirty = loc_rib.export_entries_since(state["export_seq"])
+        state["export_seq"] = export_seq
+        members = state["members"]
+        sizes = state["sizes"]
+        # Fold the dirty prefixes into the size and bucket-membership
+        # maps first so the total reflects the post-change table when
+        # sizing buckets.
+        dirty_buckets = set()
+        for prefix, entries in dirty.items():
+            state["total"] += len(entries) - sizes.pop(prefix, 0)
+            if entries:
+                sizes[prefix] = len(entries)
+            if state["buckets"]:
+                bucket = _bucket_of(prefix, state["buckets"])
+                dirty_buckets.add(bucket)
+                bucket_members = members.setdefault(bucket, set())
+                if entries:
+                    bucket_members.add(prefix)
+                else:
+                    bucket_members.discard(prefix)
+        total = state["total"]
+        grown = total > state["buckets"] * 2 * SNAPSHOT_CHUNK_ROUTES
+        shrunk = state["buckets"] > 1 and total < (state["buckets"] // 2) * SNAPSHOT_CHUNK_ROUTES
+        if state["buckets"] == 0 or grown or shrunk:
+            previous_buckets = state["buckets"]
+            buckets = max(1, -(-total // SNAPSHOT_CHUNK_ROUTES))
+            members = {}
+            for prefix in sizes:
+                members.setdefault(_bucket_of(prefix, buckets), set()).add(prefix)
+            state["buckets"] = buckets
+            state["members"] = members
+            dirty_buckets = set(range(buckets))
+            # Chunks past the new count are stale; readers ignore them,
+            # but delete the ones a larger previous snapshot left behind.
+            if previous_buckets > buckets:
+                self.bulk.delete_many(
+                    rib_snapshot_key(self.pair_name, vrf, index)
+                    for index in range(buckets, previous_buckets)
+                )
+        else:
+            self.incremental_compactions += 1
+        for index in sorted(dirty_buckets):
+            entries = []
+            for prefix in sorted(members.get(index, ()), key=str):
+                entries.extend(loc_rib.export_prefix_entries(prefix))
+            self.bulk.set(rib_snapshot_key(self.pair_name, vrf, index), entries)
+            self.snapshot_chunks_written += 1
+        # Snapshot marker: how many chunks are current (readers ignore
+        # stale higher-numbered chunks from earlier, larger snapshots)
+        # and the delta floor — the sequence number of the first delta
+        # NOT folded into this snapshot, i.e. the first live delta a
+        # recovery reader must replay on top of it.  Every delta below
+        # the floor is purged once the marker commits.
         floor = self._delta_floor.get(vrf, 0)
-        ceiling = self._delta_seq.get(vrf, 0)
+        new_floor = self._delta_seq.get(vrf, 0)
+        marker = {"chunks": state["buckets"], "delta_floor": new_floor}
         self.bulk.set(
             f"tensor:{self.pair_name}:rib:{vrf}:marker",
             marker,
-            on_done=lambda: self._purge_deltas(vrf, floor, ceiling, on_done),
+            on_done=lambda: self._purge_deltas(vrf, floor, new_floor, on_done),
         )
 
     def _purge_deltas(self, vrf, floor, ceiling, on_done):
-        for seq in range(floor, ceiling):
-            self.bulk.delete(rib_delta_key(self.pair_name, vrf, seq))
-        self._delta_live[vrf] = 0
+        """Drop superseded deltas as ranged key batches, not one op each."""
+        for start in range(floor, ceiling, self.bulk.max_batch):
+            end = min(start + self.bulk.max_batch, ceiling)
+            self.bulk.delete_many(
+                rib_delta_key(self.pair_name, vrf, seq) for seq in range(start, end)
+            )
+        # Deltas recorded while the marker write was in flight stay live.
+        self._delta_live[vrf] = self._delta_seq.get(vrf, 0) - ceiling
         self._delta_floor[vrf] = ceiling
         if on_done is not None:
             on_done()

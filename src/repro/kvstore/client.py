@@ -13,6 +13,10 @@ from repro.sim.rpc import RpcClient
 DEFAULT_TIMEOUT = 1.0
 
 
+def _ignore_reply(_rep):
+    """Shared no-op reply sink for fire-and-forget operations."""
+
+
 class KvClient:
     """Asynchronous client bound to one KV endpoint."""
 
@@ -22,8 +26,12 @@ class KvClient:
         self.server_addr = server_addr
 
     def _call(self, method, body, on_done, on_error, timeout):
-        def on_timeout():
-            if on_error is not None:
+        # Only build the timeout closure when somebody is listening;
+        # fire-and-forget calls (pruning deletes, async remote writes)
+        # then cost one less allocation each.
+        on_timeout = None
+        if on_error is not None:
+            def on_timeout():
                 on_error(method)
 
         self.rpc.call(
@@ -66,7 +74,7 @@ class KvClient:
 
     def delete(self, keys, on_done=None, on_error=None, timeout=DEFAULT_TIMEOUT):
         """``on_done(removed_count)`` (callback optional for fire-and-forget)."""
-        done = (lambda rep: on_done(rep["removed"])) if on_done else (lambda rep: None)
+        done = (lambda rep: on_done(rep["removed"])) if on_done else _ignore_reply
         self._call("delete", {"keys": list(keys)}, done, on_error, timeout)
 
     def scan(self, prefix, on_done, on_error=None, timeout=DEFAULT_TIMEOUT, estimated=64):

@@ -19,9 +19,19 @@ class Event:
 
     Instances are returned by :meth:`Engine.schedule` and can be cancelled.
     Cancellation is O(1): the event is flagged and skipped when popped.
+
+    Events that land on an instant already present in the queue are
+    chained onto the existing heap entry (``members``) instead of being
+    pushed separately — the dominant same-delay workloads (per-peer
+    keepalive ticks, per-update CPU charges, RPC timeout timers armed in
+    one batch) then cost an O(1) list append instead of a heap push, and
+    one heap pop fires the whole slot.  FIFO order at an instant is
+    preserved exactly: members are appended (and fired) in sequence
+    order, and once a slot starts firing it is retired, so late arrivals
+    for the same instant open a fresh, later slot.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "members")
 
     def __init__(self, time, seq, callback, args):
         self.time = time
@@ -29,6 +39,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.members = None  # later events chained onto this heap slot
 
     def cancel(self):
         """Prevent the event from firing.  Safe to call multiple times."""
@@ -59,6 +70,7 @@ class Engine:
         self._now = 0.0
         self._running = False
         self._stopped = False
+        self._slots = {}  # time -> open (not yet firing) heap Event
 
     @property
     def now(self):
@@ -74,8 +86,18 @@ class Engine:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         if not math.isfinite(delay):
             raise SimulationError(f"delay must be finite (delay={delay})")
-        event = Event(self._now + delay, next(self._counter), callback, args)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        event = Event(time, next(self._counter), callback, args)
+        head = self._slots.get(time)
+        if head is not None:
+            # Same instant already queued: chain onto its slot (O(1)).
+            if head.members is None:
+                head.members = [event]
+            else:
+                head.members.append(event)
+        else:
+            self._slots[time] = event
+            heapq.heappush(self._queue, event)
         return event
 
     def schedule_at(self, when, callback, *args):
@@ -93,7 +115,13 @@ class Engine:
 
     def pending(self):
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        total = 0
+        for event in self._queue:
+            if not event.cancelled:
+                total += 1
+            if event.members:
+                total += sum(1 for m in event.members if not m.cancelled)
+        return total
 
     def run(self, until=None, max_events=None):
         """Run events until the queue drains, ``until`` passes, or
@@ -115,20 +143,53 @@ class Engine:
                 if max_events is not None and executed >= max_events:
                     break
                 event = self._queue[0]
-                if event.cancelled:
+                slots = self._slots
+                if event.cancelled and event.members is None:
                     heapq.heappop(self._queue)
+                    if slots.get(event.time) is event:
+                        del slots[event.time]
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                # Retire the slot before firing: same-instant events
+                # scheduled by the callbacks below open a fresh slot that
+                # pops after the remaining members (their seq is higher).
+                if slots.get(event.time) is event:
+                    del slots[event.time]
                 self._now = event.time
-                event.callback(*event.args)
-                executed += 1
+                if not event.cancelled:
+                    event.callback(*event.args)
+                    executed += 1
+                members = event.members
+                if members:
+                    index = 0
+                    while index < len(members):
+                        if self._stopped or (
+                            max_events is not None and executed >= max_events
+                        ):
+                            self._requeue_members(members, index)
+                            break
+                        member = members[index]
+                        index += 1
+                        if member.cancelled:
+                            continue
+                        member.callback(*member.args)
+                        executed += 1
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return executed
+
+    def _requeue_members(self, members, start):
+        """Push unfired slot members back when a run() is interrupted."""
+        rest = members[start:]
+        head = rest[0]
+        head.members = rest[1:] if len(rest) > 1 else None
+        heapq.heappush(self._queue, head)
+        if head.time not in self._slots:
+            self._slots[head.time] = head
 
     def run_until_idle(self, max_events=10_000_000):
         """Run until no events remain.  Guards against runaway loops."""

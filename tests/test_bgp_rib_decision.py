@@ -155,6 +155,96 @@ def test_loc_rib_export_import_roundtrip():
     assert set(rebuilt.candidates(P1)) == set(rib.candidates(P1))
 
 
+def test_route_hashable_by_value():
+    a = _route("a")
+    b = _route("a")
+    assert a == b and a is not b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1  # value-equal routes collapse in a set
+    assert len({a, b, _route("c")}) == 2
+
+
+def test_decision_runs_counts_offer_selections():
+    rib = LocRib()
+    rib.offer(_route("a", local_pref=100))
+    assert rib.decision_runs == 0  # first candidate: trivial adoption
+    rib.offer(_route("a", local_pref=150))
+    assert rib.decision_runs == 0  # lone-candidate replacement: trivial
+    rib.offer(_route("b", local_pref=200))
+    assert rib.decision_runs == 1  # challenger vs incumbent comparison
+    rib.offer(_route("b", local_pref=50))
+    assert rib.decision_runs == 2  # best's own peer replaced: full re-scan
+
+
+def test_decision_runs_counts_retract_selections():
+    rib = LocRib()
+    rib.offer(_route("a", local_pref=100))
+    rib.offer(_route("b", local_pref=200))
+    runs = rib.decision_runs
+    rib.retract(P1, "nobody")
+    assert rib.decision_runs == runs  # no-op retract: nothing to select
+    rib.retract(P1, "a")
+    assert rib.decision_runs == runs  # non-best retract: best untouched
+    rib.retract(P1, "b")
+    assert rib.decision_runs == runs  # last candidate gone: no selection
+    rib.offer(_route("a", local_pref=100))
+    rib.offer(_route("b", local_pref=200))
+    runs = rib.decision_runs
+    rib.retract(P1, "b")
+    assert rib.decision_runs == runs + 1  # best lost: full re-scan
+
+
+def test_incremental_reselect_matches_full_rescan_10k():
+    """Randomized equivalence of the incremental Loc-RIB and a naive
+    shadow that re-runs :func:`best_path` from scratch after every
+    operation: 10K offers/retracts, byte-identical exports at the end."""
+    import random
+
+    rng = random.Random(20230817)
+    prefixes = [Prefix(i << 12, 20) for i in range(400)]
+    peers = [f"peer{i}" for i in range(8)]
+    rib = LocRib()
+    shadow = {}  # prefix -> {peer: Route}, mutated in the same order
+    for _step in range(10_000):
+        prefix = rng.choice(prefixes)
+        peer = rng.choice(peers)
+        if rng.random() < 0.3:
+            rib.retract(prefix, peer)
+            table = shadow.get(prefix)
+            if table:
+                table.pop(peer, None)
+                if not table:
+                    del shadow[prefix]
+        else:
+            route = _route(
+                peer,
+                prefix,
+                local_pref=rng.choice((None, 50, 100, 200)),
+                path=tuple(rng.sample(range(64500, 64600), rng.randint(1, 4))),
+                med=rng.choice((None, 0, 10)),
+                source_kind=rng.choice(("ebgp", "ibgp")),
+            )
+            rib.offer(route)
+            shadow.setdefault(prefix, {})[peer] = route
+    # Byte-identical export: every candidate path, same order, same wire.
+    expected_entries = []
+    for prefix in sorted(shadow):
+        expected_entries.extend(
+            {
+                "prefix": str(prefix),
+                "peer_id": peer,
+                "source_kind": route.source_kind,
+                "attributes": route.attributes.to_wire(),
+            }
+            for peer, route in sorted(shadow[prefix].items(), key=lambda kv: str(kv[0]))
+        )
+    assert rib.export_entries() == expected_entries
+    # And the incrementally-maintained best equals a full re-scan.
+    for prefix, table in shadow.items():
+        expected = best_path(list(table.values()))
+        assert rib.best(prefix).peer_id == expected.peer_id
+
+
 # -- properties ---------------------------------------------------------------
 
 

@@ -151,6 +151,91 @@ def test_compaction_replaces_deltas_with_snapshot(kv_env):
     assert sum(len(entries) for _k, entries in chunks) == 600
 
 
+def test_coalescer_retry_exhaustion_drops_and_resumes(kv_env):
+    engine, server, fast, _bulk = kv_env
+    server.fail()
+    dropped = []
+    coalescer = WriteCoalescer(fast, on_unavailable=dropped.append)
+    fired = []
+    coalescer.set("a", 1, on_done=lambda: fired.append("a"))
+    coalescer.set("b", 2, on_done=lambda: fired.append("b"))
+    coalescer.delete_many(["x", "y", "z"])
+    engine.run(until=60.0)
+    # Only the in-flight batch (the lone "a" set — it flushed before the
+    # rest were enqueued) is abandoned; its callback never fires, and
+    # on_unavailable reports exactly the dropped record count.
+    assert dropped == [1]
+    assert fired == []
+    assert not coalescer._in_flight
+    # Records enqueued behind the doomed batch stay pending.  When the
+    # database comes back, a later enqueue resumes flushing them.
+    server.recover()
+    coalescer.set("c", 3, on_done=lambda: fired.append("c"))
+    engine.run_until_idle()
+    assert fired == ["b", "c"]
+    assert "a" not in server.store  # dropped, never retried
+    assert server.store.get("b") == 2
+    assert server.store.get("c") == 3
+    assert server.store.get("x") is None
+
+
+def test_compaction_marker_floor_is_first_live_delta(kv_env):
+    from repro.bgp import LocRib, PathAttributes, Prefix
+    from repro.bgp.rib import Route
+
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    rib = LocRib()
+    for i in range(10):
+        rib.offer(Route(Prefix(i << 8, 24), PathAttributes(next_hop="1.1.1.1"), "p"))
+        pipeline.record_rib_delta("v1", {"announce": [], "withdraw": [], "in_pos": i})
+    engine.run_until_idle()
+    pipeline.compact("v1", rib)
+    engine.run_until_idle()
+    marker = server.store.get("tensor:pair0:rib:v1:marker")
+    # Deltas 0..9 are folded into the snapshot; the first delta a
+    # recovery must replay on top of it is seq 10.
+    assert marker["delta_floor"] == 10
+    # A second round: the floor advances to the next unwritten seq and
+    # only the deltas recorded since the first compaction get purged.
+    for i in range(3):
+        pipeline.record_rib_delta("v1", {"announce": [], "withdraw": [], "in_pos": 10 + i})
+    engine.run_until_idle()
+    pipeline.compact("v1", rib)
+    engine.run_until_idle()
+    marker = server.store.get("tensor:pair0:rib:v1:marker")
+    assert marker["delta_floor"] == 13
+    assert server.store.scan("tensor:pair0:rib:v1:d:") == []
+    assert not pipeline.needs_compaction("v1", threshold=1)
+
+
+def test_incremental_compaction_rewrites_only_dirty_chunks(kv_env):
+    from repro.bgp import LocRib, PathAttributes, Prefix
+    from repro.bgp.rib import Route
+
+    engine, server, fast, bulk = kv_env
+    pipeline = ReplicationPipeline("pair0", fast, bulk)
+    rib = LocRib()
+    for i in range(600):
+        rib.offer(Route(Prefix(i << 8, 24), PathAttributes(next_hop="1.1.1.1"), "p"))
+    pipeline.compact("v1", rib)
+    engine.run_until_idle()
+    first_round = pipeline.snapshot_chunks_written
+    assert first_round == 2  # full snapshot: every chunk written
+    assert pipeline.incremental_compactions == 0
+    # Touch one prefix: the follow-up compaction rewrites one chunk.
+    rib.offer(Route(Prefix(0, 24), PathAttributes(next_hop="2.2.2.2"), "q"))
+    pipeline.compact("v1", rib)
+    engine.run_until_idle()
+    assert pipeline.incremental_compactions == 1
+    assert pipeline.snapshot_chunks_written == first_round + 1
+    # The snapshot still carries the whole table (601 candidate paths).
+    chunks = server.store.scan("tensor:pair0:rib:v1:s:")
+    marker = server.store.get("tensor:pair0:rib:v1:marker")
+    assert marker["chunks"] == 2
+    assert sum(len(entries) for _k, entries in chunks) == 601
+
+
 def test_verify_read_roundtrip(kv_env):
     engine, server, fast, bulk = kv_env
     pipeline = ReplicationPipeline("pair0", fast, bulk)
