@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-hotpath bench-gate
+# Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
+SEEDS ?= 25
+
+.PHONY: test bench bench-hotpath bench-gate chaos chaos-corpus chaos-ablation verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -16,3 +19,20 @@ bench-hotpath:
 # slower than the committed BENCH_hotpath.json baseline.
 bench-gate:
 	$(PYTHON) benchmarks/check_bench_regression.py
+
+# Randomized multi-failure NSR testing (DESIGN.md §9).  On a violation
+# the engine shrinks the schedule and writes chaos_repro_<seed>.py.
+chaos:
+	$(PYTHON) -m repro.failures.chaos --seeds $(SEEDS)
+
+# The fixed seed corpus tier-1 also runs (fast regression net).
+chaos-corpus:
+	$(PYTHON) -m repro.failures.chaos --corpus
+
+# Sanity-check the engine's teeth: disabling delayed ACKs must trip
+# the ack_durability oracle and produce a replayable shrunk repro.
+chaos-ablation:
+	$(PYTHON) -m repro.failures.chaos --ablation
+
+# The full gate: tier-1 tests, hot-path perf regression, chaos corpus.
+verify: test bench-gate chaos-corpus

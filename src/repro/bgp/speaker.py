@@ -339,6 +339,22 @@ class BgpSpeaker:
         if routes:
             self.advertise_routes_to_sessions(routes, [session])
 
+    def resync_session(self, session, dead_prefixes=()):
+        """Outbound resync after NSR adoption.
+
+        An UPDATE that was generated but neither committed nor
+        transmitted at the crash instant is in no replay path: the
+        incoming message that caused it was already pruned, and the
+        Adj-RIB-Out that knew it was pending died with the process.
+        Re-send withdrawals for ``dead_prefixes`` (recovered from the
+        durable RIB delta log) and re-advertise the full table; both
+        halves are idempotent at the remote, so over-sending is safe —
+        silence is not.
+        """
+        if dead_prefixes:
+            self._send_withdrawals(session, list(dead_prefixes))
+        self.readvertise(session)
+
     def best_paths_changed(self, origin_session, changes):
         """Queue best-path changes for propagation to other peers."""
         self.last_apply_time = self.engine.now

@@ -88,6 +88,7 @@ class TcpQueueThread:
             "keys": keys,
             "held": [],  # FIFO of (ack_number, QueuedPacket)
             "confirmed_pos": 0,  # highest ACK number verified in the DB
+            "waiters": [],  # (ack_number, callback) run once confirmed
             "rules": (ack_rule, guard_rule),
             "stack": stack,
         }
@@ -100,6 +101,10 @@ class TcpQueueThread:
                 entry["stack"].output_chain.delete(rule)
             for _ack, queued in entry["held"]:
                 queued.drop()
+            # The connection is being torn down deliberately: pending
+            # deferred work (record prunes) may run now.
+            for _ack, callback in entry["waiters"]:
+                callback()
 
     # ------------------------------------------------------------------
     # the FIFO queue
@@ -148,9 +153,36 @@ class TcpQueueThread:
             return  # not actually present: keep holding (fail-safe)
         self._confirm(entry, ack_position)
 
+    def when_confirmed(self, keys, ack_number, callback):
+        """Run ``callback`` once ``confirmed_pos`` covers ``ack_number``.
+
+        The apply path uses this to defer pruning an incoming message
+        record until its replication has been verified: pruning earlier
+        races the verification read (the record vanishes, the read
+        returns None, and the fail-safe direction then holds the peer's
+        ACK forever).  An unmanaged connection has nothing to defer for —
+        the callback runs immediately.
+        """
+        entry = self._entry_for_keys(keys)
+        if entry is None or entry["confirmed_pos"] >= ack_number:
+            callback()
+            return
+        entry["waiters"].append((ack_number, callback))
+
     def _confirm(self, entry, ack_position):
         if ack_position > entry["confirmed_pos"]:
             entry["confirmed_pos"] = ack_position
+        if entry["waiters"]:
+            ready = [
+                cb for ack, cb in entry["waiters"]
+                if ack <= entry["confirmed_pos"]
+            ]
+            entry["waiters"] = [
+                (ack, cb) for ack, cb in entry["waiters"]
+                if ack > entry["confirmed_pos"]
+            ]
+            for callback in ready:
+                callback()
         held = entry["held"]
         keep = []
         releasable = []

@@ -9,12 +9,14 @@ both directions: the remote retransmits anything past our recovered
 receive position, and we retransmit every outgoing byte the remote has
 not provably acknowledged.
 
-Known divergence corner (documented, also exercised in tests): an UPDATE
-that was generated but crashed *before* its database commit was never
-transmitted (delayed sending), so the remote never saw it; the recovered
-Adj-RIB-Out is seeded from the Loc-RIB, so such an update is not
-automatically re-sent.  Operators handle this with a post-recovery
-ROUTE-REFRESH; :meth:`~repro.core.system.TensorPair` issues one.
+Known divergence corner (found by the chaos engine, DESIGN.md §9): an
+UPDATE that was generated but crashed *before* its database commit was
+never transmitted (delayed sending), so the remote never saw it — and a
+change applied just before the crash may never have had its UPDATE
+generated at all.  Neither is in any replay path.  Recovery therefore
+finishes with an outbound resync
+(:meth:`~repro.bgp.speaker.BgpSpeaker.resync_session`): re-send the
+withdrawals recorded in the live delta log, re-advertise the table.
 """
 
 from repro.bgp.attributes import PathAttributes
@@ -78,6 +80,38 @@ class RecoveredState:
             for prefix_str, peer_id in delta["withdraw"]:
                 rib.retract(Prefix.parse(prefix_str), peer_id)
         return rib
+
+    def recent_withdrawn_prefixes(self, vrf):
+        """Prefix strings withdrawn by any live (uncompacted) delta.
+
+        The outbound resync re-sends withdrawals for these: a withdraw
+        applied just before the crash is durable as a delta, but the
+        UPDATE advertising it to the *other* peers may never have been
+        generated.  Bounded by the compaction threshold.
+        """
+        marker = self.rib_markers.get(vrf, {"chunks": 0, "delta_floor": 0})
+        floor = marker.get("delta_floor", 0)
+        withdrawn = set()
+        for seq, delta in self.rib_deltas.get(vrf, []):
+            if seq < floor:
+                continue
+            for prefix_str, _peer_id in delta["withdraw"]:
+                withdrawn.add(prefix_str)
+        return withdrawn
+
+    def delta_log_state(self, vrf):
+        """``(next_seq, floor, live_count)`` for resuming the delta log.
+
+        The recovered process must append past the highest stored delta —
+        restarting from 0 would overwrite records still needed by a later
+        recovery (see ReplicationPipeline.resume_delta_log).
+        """
+        marker = self.rib_markers.get(vrf, {"chunks": 0, "delta_floor": 0})
+        floor = marker.get("delta_floor", 0)
+        deltas = self.rib_deltas.get(vrf, [])
+        next_seq = (deltas[-1][0] + 1) if deltas else floor
+        live = sum(1 for seq, _delta in deltas if seq >= floor)
+        return next_seq, floor, live
 
     def recovered_in_position(self, conn_id):
         """Receive-stream position: every replicated whole message counts."""
@@ -153,12 +187,26 @@ class BackupRecovery:
         self.kv = kv_client
         self.pair_name = pair_name
 
+    #: Delay before re-issuing a failed recovery scan.  Recovery cannot
+    #: proceed without the replicated state, so it must outlast transient
+    #: database unavailability (otherwise a sub-second blip overlapping a
+    #: migration wedges the backup forever and the remote's hold timer
+    #: eventually kills the session).
+    SCAN_RETRY_DELAY = 0.5
+
     def load(self, on_done, estimated_records=256):
-        """Scan the pair's keyspace; ``on_done(RecoveredState)``."""
+        """Scan the pair's keyspace; ``on_done(RecoveredState)``.
+
+        Retries indefinitely on timeout: the backup has nothing else it
+        can do, and giving up silently would strand the adopted peers.
+        """
         prefix = f"tensor:{self.pair_name}:"
         self.kv.scan(
             prefix,
             on_done=lambda pairs: on_done(self._parse(pairs)),
+            on_error=lambda _method: self.engine.schedule(
+                self.SCAN_RETRY_DELAY, self.load, on_done, estimated_records
+            ),
             estimated=estimated_records,
         )
 

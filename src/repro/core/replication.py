@@ -375,6 +375,17 @@ class ReplicationPipeline:
     # compaction (bounds storage and recovery work)
     # ------------------------------------------------------------------
 
+    def resume_delta_log(self, vrf, next_seq, floor, live):
+        """Continue a recovered VRF's delta log instead of restarting it.
+
+        A freshly built pipeline sequences deltas from 0; after recovery
+        that would overwrite the durable log's oldest records in place,
+        silently corrupting what the *next* recovery rebuilds from.
+        """
+        self._delta_seq[vrf] = next_seq
+        self._delta_floor[vrf] = floor
+        self._delta_live[vrf] = live
+
     def needs_compaction(self, vrf, threshold=COMPACTION_THRESHOLD):
         return self._delta_live.get(vrf, 0) >= threshold
 

@@ -14,6 +14,7 @@ for E1; NSR migration for E2/E4 and machine-level failures).
 from repro.bfd.packet import BfdState
 from repro.bfd.process import BfdProcess
 from repro.bgp.peer import PeerConfig
+from repro.bgp.prefixes import Prefix
 from repro.bgp.speaker import SpeakerConfig
 from repro.containers.host import HostMachine, ProcessMonitor
 from repro.control.controller import Controller
@@ -481,6 +482,9 @@ class TensorPair:
                 vrf_name, self.local_as, self.speaker.config.router_id_int
             )
             self.speaker.vrfs[vrf_name].loc_rib = rebuilt
+            self.pipeline.resume_delta_log(
+                vrf_name, *state.delta_log_state(vrf_name)
+            )
         # Sessions resume by adoption below — no fresh connects, so the
         # speaker is marked running without start().  It still listens:
         # if an adopted session later drops (e.g. a real link failure),
@@ -489,6 +493,7 @@ class TensorPair:
         if any(neighbor.mode == "passive" for neighbor in self.neighbors):
             self.speaker._ensure_listening()
         # Adopt each replicated connection.
+        adopted = []
         for conn_id, meta in state.sessions.items():
             repair = state.tcp_repair_state(conn_id)
             conn = import_tcp_state(self.stack, repair)
@@ -515,6 +520,24 @@ class TensorPair:
             # keepalive interval would otherwise keep resetting the timer
             # and starve the remote's hold timer of traffic
             self.speaker.keepalive_due(session)
+            adopted.append(session)
+        # Outbound resync (the divergence corner in repro.core.recovery's
+        # docstring): a change applied just before the crash whose UPDATE
+        # was never generated is in no replay path.  Re-send the recent
+        # withdrawals from the durable delta log, re-advertise the table.
+        for session in adopted:
+            vrf = session.vrf
+            dead = [
+                prefix
+                for prefix in (
+                    Prefix.parse(text)
+                    for text in sorted(
+                        state.recent_withdrawn_prefixes(vrf.name)
+                    )
+                )
+                if vrf.loc_rib.best(prefix) is None
+            ]
+            self.speaker.resync_session(session, dead)
         # The repair-resume budget covers socket rebuilds and resyncs.
         self.engine.schedule(
             TCP_REPAIR_RESUME_TIME, self._recovery_finished, record, on_done

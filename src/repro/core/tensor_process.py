@@ -42,6 +42,14 @@ class TensorBgpSpeaker(BgpSpeaker):
         self.replicated_in_messages = 0
         self.replicated_out_messages = 0
         self.pruned_messages = 0
+        #: Exactly-once apply accounting: per-connection high-water mark of
+        #: applied incoming stream positions.  Positions strictly increase
+        #: within one process incarnation (recovery replay resumes above
+        #: the durable watermark), so applying a position at or below the
+        #: mark means the same message reached the RIB twice — the NSR
+        #: invariant the chaos oracles watch via ``duplicate_applies``.
+        self._applied_in_pos = {}  # peer_id -> highest applied in-position
+        self.duplicate_applies = 0
 
     # ------------------------------------------------------------------
     # connection bring-up
@@ -116,7 +124,10 @@ class TensorBgpSpeaker(BgpSpeaker):
         # Regular processing proceeds in parallel (§3.1.1: "the primary
         # also performs the regular processing of BGP messages").
         cost = self._receive_cost_of(message)
-        self.charge(cost, self._apply_and_prune, session, message, size, keys, position)
+        self.charge(
+            cost, self._apply_and_prune, session, message, size, keys, position,
+            inferred_ack,
+        )
 
     def stream_progress(self, session):
         """Replicate a buffered partial-message tail (see base docstring).
@@ -152,15 +163,27 @@ class TensorBgpSpeaker(BgpSpeaker):
             ),
         )
 
-    def _apply_and_prune(self, session, message, size, keys, position):
+    def _apply_and_prune(self, session, message, size, keys, position, ack=None):
         if not self.running:
             return
+        if position <= self._applied_in_pos.get(session.peer_id, 0):
+            self.duplicate_applies += 1
+        else:
+            self._applied_in_pos[session.peer_id] = position
         self._apply_received(session, message, size)
         if isinstance(message, UpdateMessage) and session.established:
             self._persist_rib_delta(session, message, position)
         # "we remove the replicated messages that have been applied to
-        #  routing tables from the database"
-        self.pipeline.delete_message(keys, "i", position)
+        #  routing tables from the database" — but not before tcp_queue
+        # has verified the record: pruning earlier races the verification
+        # read and would leave the peer's ACK held forever.
+        if ack is None:
+            self.pipeline.delete_message(keys, "i", position)
+        else:
+            self.tcp_queue.when_confirmed(
+                keys, ack,
+                lambda: self.pipeline.delete_message(keys, "i", position),
+            )
         self.pruned_messages += 1
         self.pipeline.update_tcp_status(
             keys,
@@ -305,6 +328,7 @@ class TensorBgpSpeaker(BgpSpeaker):
             record["wire_len"],
             keys,
             record["in_pos"],
+            record.get("ack"),
         )
 
     # ------------------------------------------------------------------

@@ -1,6 +1,31 @@
-"""Failure injection: the E1-E5 scenarios of Figure 3 and Table 1."""
+"""Failure injection and chaos testing.
 
+The E1-E5 scenarios of Figure 3 / Table 1, the chaos schedule engine
+that composes them into randomized overlapping runs, and the NSR
+invariant oracles that judge every run (DESIGN.md §9).
+"""
+
+from repro.failures.chaos import (
+    ChaosSchedule,
+    generate_schedule,
+    run_schedule,
+    shrink_schedule,
+    write_repro_script,
+)
 from repro.failures.injector import FailureInjector
-from repro.failures.scenarios import SCENARIOS, Scenario
+from repro.failures.oracles import OracleSuite, Violation
+from repro.failures.scenarios import SCENARIOS, Scenario, scenarios_by_severity
 
-__all__ = ["FailureInjector", "Scenario", "SCENARIOS"]
+__all__ = [
+    "ChaosSchedule",
+    "FailureInjector",
+    "OracleSuite",
+    "SCENARIOS",
+    "Scenario",
+    "Violation",
+    "generate_schedule",
+    "run_schedule",
+    "scenarios_by_severity",
+    "shrink_schedule",
+    "write_repro_script",
+]

@@ -1,0 +1,659 @@
+"""Chaos schedule engine: randomized multi-failure NSR testing.
+
+TENSOR's claim is that a failure at *any* instant — including failures
+overlapping an in-flight recovery — loses no routing state and never
+flaps the remote session.  This module searches that claim's input space
+automatically:
+
+1. :func:`generate_schedule` derives a :class:`ChaosSchedule` from a
+   seed: 2–5 overlapping injections from the scenario registry at
+   randomized instants, under a randomized advertise/withdraw workload
+   across 1–3 neighbors.  Generation is a pure function of the seed.
+2. :func:`run_schedule` builds a fresh :class:`TensorSystem`, replays
+   the schedule, and checks the :class:`~repro.failures.oracles.OracleSuite`
+   after every 50 ms engine slice.  Running is a pure function of
+   ``(schedule, hold_acks)``, so every violation replays exactly.
+3. On violation, :func:`shrink_schedule` minimizes the schedule (drop
+   injections, drop/halve workload bursts, coarsen instants, trim the
+   horizon) and :func:`write_repro_script` emits a self-contained
+   ``chaos_repro_<seed>.py`` that re-runs the shrunk schedule.
+
+Schedule composition rules keep every generated run *recoverable by
+design* (violations then always indicate real bugs, not impossible
+topologies): hard injections are spaced wider than a full recovery, at
+most one machine-level failure fires per schedule (fencing removes the
+machine until a manual reset), transient network blips stay under the
+3 s confirmation timer, and database blips stay under the write-retry
+budget.  Soft injections may land anywhere — including deliberately
+inside the recovery window of a hard one.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.core.system import PeerNeighborSpec, TensorSystem
+from repro.failures.injector import FailureInjector
+from repro.failures.oracles import OracleSuite, Violation
+from repro.sim.rand import DeterministicRandom
+from repro.workloads.topology import build_remote_peer
+from repro.workloads.updates import RouteGenerator
+
+#: Hard injections are spaced at least this far apart so each recovery
+#: (detection + migration + TCP repair + route resync) completes.
+HARD_SPACING = (18.0, 25.0)
+
+#: Settle tail appended after the last scheduled event.
+SETTLE_TAIL = 30.0
+
+#: The oracle-check granularity (virtual seconds).
+CHECK_QUANTUM = 0.05
+
+#: Seeds run by tier-1 (`make test`) as the fixed regression corpus.
+CORPUS_SEEDS = (0, 1, 2, 3, 4, 5)
+
+
+class ChaosSchedule:
+    """One self-contained chaos run: topology knobs + timed events.
+
+    All event times are relative to the oracle arming instant (the end
+    of initial convergence).  ``injections`` entries::
+
+        {"at": 12.5, "scenario": "container", "target": "active"|"standby"|None,
+         "duration": 1.2 | None}
+
+    ``workload`` entries::
+
+        {"at": 3.0, "remote": 0, "action": "advertise"|"withdraw",
+         "base": "10.0.0.0", "length": 24, "count": 120}
+    """
+
+    def __init__(self, seed, neighbors=1, shared_vrf=False, initial_routes=100,
+                 injections=(), workload=(), duration=60.0):
+        self.seed = seed
+        self.neighbors = neighbors
+        self.shared_vrf = shared_vrf
+        self.initial_routes = initial_routes
+        self.injections = [dict(event) for event in injections]
+        self.workload = [dict(event) for event in workload]
+        self.duration = duration
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "neighbors": self.neighbors,
+            "shared_vrf": self.shared_vrf,
+            "initial_routes": self.initial_routes,
+            "injections": [dict(event) for event in self.injections],
+            "workload": [dict(event) for event in self.workload],
+            "duration": self.duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["seed"],
+            neighbors=data["neighbors"],
+            shared_vrf=data["shared_vrf"],
+            initial_routes=data["initial_routes"],
+            injections=data["injections"],
+            workload=data["workload"],
+            duration=data["duration"],
+        )
+
+    def copy(self):
+        return ChaosSchedule.from_dict(self.to_dict())
+
+    def __repr__(self):
+        return (
+            f"<ChaosSchedule seed={self.seed} neighbors={self.neighbors}"
+            f" injections={len(self.injections)} bursts={len(self.workload)}"
+            f" duration={self.duration:.1f}s>"
+        )
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+
+def generate_schedule(seed):
+    """Derive a schedule from ``seed`` (pure function, no simulation)."""
+    r = DeterministicRandom(seed).stream("schedule")
+    neighbors = r.choice((1, 2, 2, 3))
+    shared_vrf = neighbors > 1 and r.random() < 0.6
+    initial_routes = r.choice((0, 100, 250))
+
+    # -- hard injections: spaced so each recovery completes ---------------
+    count = r.randint(2, 5)
+    hard_count = max(1, min(r.randint(1, 3), count))
+    soft_count = count - hard_count
+    include_machine = r.random() < 0.5
+    hard_kinds = [
+        r.choice(("application", "container", "container_network"))
+        for _ in range(hard_count)
+    ]
+    if include_machine:
+        # At most one machine-level failure, and always the final hard
+        # one: fencing leaves only one usable machine afterwards.
+        hard_kinds[-1] = r.choice(("host_machine", "host_network"))
+    injections = []
+    at = r.uniform(3.0, 10.0)
+    for kind in hard_kinds:
+        injections.append({
+            "at": round(at, 3),
+            "scenario": kind,
+            "target": "active",
+            "duration": None,
+        })
+        at += r.uniform(*HARD_SPACING)
+    last_hard = injections[-1]["at"]
+
+    # -- soft injections: overlap anything, including recovery windows ----
+    agent_used = False
+    for _ in range(soft_count):
+        kind = r.choice(("transient_network", "database_blip", "agent"))
+        if kind == "agent" and agent_used:
+            kind = "database_blip"
+        agent_used = agent_used or kind == "agent"
+        # The agent is the detection witness: a hard failure with the
+        # agent already dead is undetectable (machine confirmation needs
+        # the agent's IP SLA signal), which is a double fault outside the
+        # paper's fault model.  Agent death therefore only lands once the
+        # last hard injection has fired AND its 3-second confirmation
+        # window has safely passed.
+        earliest = last_hard + 6.0 if kind == "agent" else 1.0
+        event = {
+            "at": round(r.uniform(earliest, last_hard + 12.0), 3),
+            "scenario": kind,
+            "target": None,
+            "duration": None,
+        }
+        if kind == "transient_network":
+            event["target"] = r.choice(("active", "standby"))
+            event["duration"] = round(r.uniform(0.3, 2.0), 3)
+        elif kind == "database_blip":
+            event["duration"] = round(r.uniform(0.4, 1.2), 3)
+        injections.append(event)
+    injections.sort(key=lambda event: event["at"])
+
+    # -- workload bursts ---------------------------------------------------
+    burst_times = sorted(
+        round(r.uniform(1.0, last_hard + 8.0), 3)
+        for _ in range(r.randint(2, 5))
+    )
+    workload = []
+    advertised = [[] for _ in range(neighbors)]  # live blocks per remote
+    for at in burst_times:
+        remote = r.randrange(neighbors)
+        if advertised[remote] and r.random() < 0.35:
+            block = advertised[remote].pop(r.randrange(len(advertised[remote])))
+            workload.append({"at": at, "remote": remote, "action": "withdraw",
+                             **block})
+        else:
+            index = sum(1 for event in workload if event["remote"] == remote)
+            block = {
+                # disjoint /24 blocks per (remote, burst): remotes get
+                # distinct first octets, bursts distinct second octets
+                "base": f"{10 + remote}.{(index * 8) % 248}.0.0",
+                "length": 24,
+                "count": r.choice((50, 120, 200)),
+            }
+            advertised[remote].append(block)
+            workload.append({"at": at, "remote": remote, "action": "advertise",
+                             **block})
+
+    horizon = max(
+        [event["at"] for event in injections]
+        + [event["at"] for event in workload]
+    )
+    return ChaosSchedule(
+        seed,
+        neighbors=neighbors,
+        shared_vrf=shared_vrf,
+        initial_routes=initial_routes,
+        injections=injections,
+        workload=workload,
+        duration=round(horizon + SETTLE_TAIL, 3),
+    )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+class ChaosResult:
+    """Outcome of one schedule run."""
+
+    def __init__(self, schedule, suite, system, events_executed):
+        self.schedule = schedule
+        self.suite = suite
+        self.system = system
+        self.events_executed = events_executed
+
+    @property
+    def violations(self):
+        return self.suite.violations
+
+    @property
+    def first_violation(self):
+        return self.suite.first_violation
+
+    def summary(self):
+        return self.suite.summary()
+
+
+class _WorkloadDriver:
+    """Fires advertise/withdraw bursts and keeps the oracle model true.
+
+    The oracle RIB is *intent*: the driver records what each remote was
+    asked to originate, never what the system under test ended up with.
+    """
+
+    def __init__(self, remotes, suite, rand):
+        self.remotes = remotes
+        self.suite = suite
+        self.gens = [
+            RouteGenerator(
+                rand.fork(f"workload:{index}"),
+                64512 + index,
+                next_hop=f"192.0.2.{index + 1}",
+            )
+            for index in range(len(remotes))
+        ]
+
+    def fire(self, event):
+        index = event["remote"]
+        remote, session = self.remotes[index]
+        vrf_name = session.config.vrf_name
+        gen = self.gens[index]
+        if event["action"] == "advertise":
+            routes = gen.routes(
+                event["count"], base=event["base"], length=event["length"]
+            )
+            for prefix, attributes in routes:
+                remote.speaker.originate(vrf_name, prefix, attributes)
+            self.suite.note_originate(index, [p for p, _a in routes])
+        else:
+            prefixes = gen.prefixes(
+                event["count"], base=event["base"], length=event["length"]
+            )
+            live = self.suite.live[index]
+            withdrawn = [p for p in prefixes if str(p) in live]
+            for prefix in withdrawn:
+                remote.speaker.withdraw_originated(vrf_name, prefix)
+            self.suite.note_withdraw(index, withdrawn)
+
+
+def _build_system(schedule, hold_acks):
+    """A converged TensorSystem matching the schedule's topology knobs."""
+    system = TensorSystem(seed=schedule.seed, hold_acks=hold_acks)
+    engine = system.engine
+    m1 = system.add_machine("gw-1", "10.1.0.1")
+    m2 = system.add_machine("gw-2", "10.2.0.1")
+    vrf_of = (
+        (lambda i: "v0") if schedule.shared_vrf else (lambda i: f"v{i}")
+    )
+    specs = [
+        PeerNeighborSpec(
+            f"192.0.2.{i + 1}", 64512 + i, vrf_name=vrf_of(i), mode="passive"
+        )
+        for i in range(schedule.neighbors)
+    ]
+    pair = system.create_pair(
+        "pair0", m1, m2, service_addr="10.10.0.1", local_as=65001,
+        router_id="10.10.0.1", neighbors=specs,
+    )
+    remotes = []
+    for i in range(schedule.neighbors):
+        remote = build_remote_peer(
+            system, f"remote{i}", f"192.0.2.{i + 1}", 64512 + i,
+            link_machines=[m1, m2],
+        )
+        session = remote.peer_with(
+            "10.10.0.1", 65001, vrf_name=vrf_of(i), mode="active"
+        )
+        remotes.append((remote, session))
+    pair.start()
+    for remote, _session in remotes:
+        remote.start()
+    engine.advance(10.0)
+    return system, pair, remotes
+
+
+def run_schedule(schedule, hold_acks=True, stop_on_violation=True):
+    """Replay ``schedule`` under continuous oracles.
+
+    Pure function of ``(schedule, hold_acks)``: two calls return
+    identical violations at identical virtual instants.
+    """
+    rand = DeterministicRandom(schedule.seed)
+    system, pair, remotes = _build_system(schedule, hold_acks)
+    engine = system.engine
+    suite = OracleSuite(
+        system, pair, remotes, stop_on_violation=stop_on_violation
+    )
+    driver = _WorkloadDriver(remotes, suite, rand)
+
+    if schedule.initial_routes:
+        for index, (remote, session) in enumerate(remotes):
+            gen = driver.gens[index]
+            routes = gen.routes(
+                schedule.initial_routes, base=f"{10 + index}.248.0.0"
+            )
+            remote.speaker.originate_many(
+                session.config.vrf_name, routes
+            )
+            remote.speaker.readvertise(session)
+            suite.live[index].update({str(p): True for p, _a in routes})
+        engine.advance(5.0)
+    suite.arm()
+
+    injector = FailureInjector(system)
+    for event in schedule.injections:
+        engine.schedule(
+            event["at"], _fire_injection, injector, system, pair, suite, event
+        )
+    for event in schedule.workload:
+        engine.schedule(event["at"], driver.fire, event)
+
+    executed = engine.run_stepped(
+        engine.now + schedule.duration, suite.check, quantum=CHECK_QUANTUM
+    )
+    _check_record_bookkeeping(injector, suite)
+    return ChaosResult(schedule, suite, system, executed)
+
+
+def _fire_injection(injector, system, pair, suite, event):
+    """Resolve the target *at fire time* (roles swap across migrations)."""
+    kind = event["scenario"]
+    machine = (
+        pair.standby_machine if event["target"] == "standby"
+        else pair.active_machine
+    )
+    suite.note_injection(
+        kind,
+        target_name=machine.name,
+        duration=event["duration"] or 0.0,
+    )
+    if kind == "application":
+        injector.application_failure(pair)
+    elif kind == "container":
+        injector.container_failure(pair)
+    elif kind == "container_network":
+        injector.container_network_failure(pair)
+    elif kind == "host_machine":
+        injector.host_machine_failure(machine)
+    elif kind == "host_network":
+        injector.host_network_failure(machine)
+    elif kind == "transient_network":
+        injector.transient_host_network_failure(machine, event["duration"])
+    elif kind == "database_blip":
+        injector.transient_database_failure(event["duration"])
+    elif kind == "agent":
+        injector.agent_failure()
+    else:
+        raise ValueError(f"unknown chaos scenario {kind!r}")
+
+
+def _check_record_bookkeeping(injector, suite):
+    """Post-run: stamping must give every completed record a ground
+    truth that is not in the future of its detection."""
+    injector.stamp_records()
+    for record in injector.system.controller.completed_records():
+        if record.failed_at is None:
+            suite.violations.append(Violation(
+                injector.engine.now, "record_bookkeeping",
+                f"completed record {record!r} has no ground-truth failed_at",
+            ))
+        elif record.failed_at > record.detected_at:
+            suite.violations.append(Violation(
+                injector.engine.now, "record_bookkeeping",
+                f"record {record!r} stamped after its own detection",
+            ))
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
+    """Minimize ``schedule`` while it still trips an oracle.
+
+    Deterministic greedy reduction: drop injections, drop workload
+    bursts, halve burst sizes, zero the preloaded table, coarsen
+    injection instants, then trim the horizon to just past the
+    violation.  Returns ``(shrunk, final_result, runs_used)``.
+    """
+    runs = {"used": 0}
+
+    def still_fails(candidate):
+        if runs["used"] >= max_runs:
+            return None  # budget exhausted: stop shrinking
+        runs["used"] += 1
+        result = run_schedule(candidate, hold_acks=hold_acks)
+        violation = result.first_violation
+        if violation is None:
+            return False
+        if expect_oracle is not None and violation.oracle != expect_oracle:
+            return False
+        return result
+
+    best = schedule.copy()
+    result = still_fails(best)
+    if not result:
+        return best, None, runs["used"]
+
+    def try_mutation(mutate):
+        nonlocal best, result
+        candidate = best.copy()
+        if mutate(candidate) is False:
+            return
+        outcome = still_fails(candidate)
+        if outcome:
+            best, result = candidate, outcome
+
+    # 1. drop injections, one at a time, until a fixed point
+    changed = True
+    while changed and runs["used"] < max_runs:
+        changed = False
+        for index in range(len(best.injections) - 1, -1, -1):
+            before = len(best.injections)
+
+            def drop(candidate, index=index):
+                del candidate.injections[index]
+
+            try_mutation(drop)
+            if len(best.injections) != before:
+                changed = True
+    # 2. drop workload bursts
+    for index in range(len(best.workload) - 1, -1, -1):
+        def drop(candidate, index=index):
+            del candidate.workload[index]
+
+        try_mutation(drop)
+    # 3. halve remaining burst sizes
+    for index in range(len(best.workload)):
+        while best.workload[index]["count"] > 25 and runs["used"] < max_runs:
+            before = best.workload[index]["count"]
+
+            def halve(candidate, index=index):
+                candidate.workload[index]["count"] //= 2
+
+            try_mutation(halve)
+            if best.workload[index]["count"] == before:
+                break
+    # 4. drop the preloaded table
+    if best.initial_routes:
+        def zero(candidate):
+            candidate.initial_routes = 0
+
+        try_mutation(zero)
+    # 5. coarsen injection instants (whole seconds read better in repros)
+    for index in range(len(best.injections)):
+        def roundto(candidate, index=index):
+            rounded = float(round(candidate.injections[index]["at"]))
+            if rounded == candidate.injections[index]["at"] or rounded < 0.1:
+                return False
+            candidate.injections[index]["at"] = rounded
+
+        try_mutation(roundto)
+    # 6. trim the horizon to just past the violation (violation times are
+    # absolute; arming happens at >= 10 s, so this over-covers slightly —
+    # the verification rerun below keeps it honest)
+    trimmed = round(max(5.0, result.first_violation.time - 5.0), 3)
+    if trimmed < best.duration:
+        def trim(candidate):
+            candidate.duration = trimmed
+
+        try_mutation(trim)
+    return best, result, runs["used"]
+
+
+# ----------------------------------------------------------------------
+# repro scripts
+# ----------------------------------------------------------------------
+
+REPRO_TEMPLATE = '''#!/usr/bin/env python3
+"""Auto-generated chaos repro — seed {seed}, oracle {oracle}.
+
+Shrunk schedule: {injections} injection(s), {bursts} workload burst(s).
+Replay (from the repository root):
+
+    PYTHONPATH=src python {filename}
+
+Exits 0 when the violation reproduces at the same oracle.
+"""
+import json
+import sys
+
+SEED = {seed}
+HOLD_ACKS = {hold_acks}
+EXPECT_ORACLE = {oracle!r}
+SCHEDULE = json.loads(r\'\'\'
+{schedule_json}
+\'\'\')
+
+
+def main():
+    from repro.failures.chaos import ChaosSchedule, run_schedule
+
+    result = run_schedule(
+        ChaosSchedule.from_dict(SCHEDULE), hold_acks=HOLD_ACKS
+    )
+    violation = result.first_violation
+    if violation is None:
+        print("did NOT reproduce: all oracles passed")
+        return 2
+    print(
+        "reproduced: %s @%.3f -- %s"
+        % (violation.oracle, violation.time, violation.detail)
+    )
+    return 0 if violation.oracle == EXPECT_ORACLE else 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def write_repro_script(schedule, violation, hold_acks, path):
+    """Emit a self-contained replay script for a shrunk schedule."""
+    filename = path.split("/")[-1]
+    script = REPRO_TEMPLATE.format(
+        seed=schedule.seed,
+        oracle=violation.oracle,
+        injections=len(schedule.injections),
+        bursts=len(schedule.workload),
+        filename=filename,
+        hold_acks=hold_acks,
+        schedule_json=json.dumps(schedule.to_dict(), indent=2, sort_keys=True),
+    )
+    with open(path, "w") as handle:
+        handle.write(script)
+    return path
+
+
+def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
+    """The failure path of a sweep: shrink, write the repro, describe it."""
+    violation = first_result.first_violation
+    shrunk, final, runs = shrink_schedule(
+        schedule, hold_acks=hold_acks, expect_oracle=violation.oracle
+    )
+    path = f"{out_dir}/chaos_repro_{schedule.seed}.py"
+    write_repro_script(shrunk, violation, hold_acks, path)
+    print(
+        f"seed {schedule.seed}: VIOLATION {violation.oracle}"
+        f" @{violation.time:.3f} — {violation.detail}"
+    )
+    print(
+        f"  shrunk to {len(shrunk.injections)} injection(s),"
+        f" {len(shrunk.workload)} burst(s) in {runs} rerun(s);"
+        f" repro: {path}"
+    )
+    return shrunk, path
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.failures.chaos
+# ----------------------------------------------------------------------
+
+def _run_one(seed, hold_acks=True, out_dir="."):
+    schedule = generate_schedule(seed)
+    result = run_schedule(schedule, hold_acks=hold_acks)
+    if result.first_violation is None:
+        print(
+            f"seed {seed}: ok ({len(schedule.injections)} injections,"
+            f" {len(schedule.workload)} bursts, {schedule.neighbors} neighbors,"
+            f" {schedule.duration:.0f}s virtual)"
+        )
+        return True
+    shrink_and_report(schedule, result, hold_acks, out_dir=out_dir)
+    return False
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Randomized multi-failure NSR testing (DESIGN.md §9)"
+    )
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="sweep seeds 0..N-1")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run one seed verbosely")
+    parser.add_argument("--corpus", action="store_true",
+                        help="run the fixed tier-1 corpus seeds")
+    parser.add_argument("--ablation", action="store_true",
+                        help="run with delayed ACKs disabled (must trip)")
+    parser.add_argument("--out", default=".", help="repro script directory")
+    args = parser.parse_args(argv)
+
+    if args.ablation:
+        seed = args.seed if args.seed is not None else 0
+        schedule = generate_schedule(seed)
+        result = run_schedule(schedule, hold_acks=False)
+        if result.first_violation is None:
+            print(f"ablation seed {seed}: no oracle tripped (UNEXPECTED)")
+            return 1
+        shrunk, path = shrink_and_report(
+            schedule, result, hold_acks=False, out_dir=args.out
+        )
+        print(f"ablation tripped as designed; replay: PYTHONPATH=src python {path}")
+        return 0
+
+    if args.seed is not None:
+        return 0 if _run_one(args.seed, out_dir=args.out) else 1
+
+    seeds = (
+        CORPUS_SEEDS if args.corpus
+        else range(args.seeds if args.seeds is not None else 10)
+    )
+    failures = 0
+    for seed in seeds:
+        if not _run_one(seed, out_dir=args.out):
+            failures += 1
+    total = len(list(seeds))
+    print(f"{total - failures}/{total} seeds passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

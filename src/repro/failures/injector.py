@@ -5,6 +5,18 @@ Drives the ground-truth failure levers on a
 benchmarks can compute detection latency (detected_at - injected_at).
 """
 
+#: Which injection kinds can produce a controller record of each
+#: ``MigrationRecord.failure_kind``.  Database blips and agent death
+#: never produce records and must never be mistaken for the ground truth
+#: of one; transient network jitter only produces a (machine) record
+#: when it outlives the confirmation timer.
+RECORD_KIND_COMPAT = {
+    "application": ("application",),
+    "container": ("container",),
+    "container_network": ("container_network",),
+    "machine": ("host_machine", "host_network", "transient_network"),
+}
+
 
 class Injection:
     """One injected failure (ground truth)."""
@@ -34,21 +46,44 @@ class FailureInjector:
     def stamp_records(self):
         """Fill ground-truth ``failed_at`` into the controller's records.
 
-        Each record gets the injection time of the latest injection at or
-        before its detection time — call after the simulation settles so
-        Table 1 detection latencies are measured from the true failure
-        instant.
+        Call after the simulation settles so Table 1 detection latencies
+        are measured from the true failure instant.  Matching is by
+        failure-kind compatibility (:data:`RECORD_KIND_COMPAT`), and each
+        injection is claimed by at most one record: under overlapping
+        chaos schedules a container record must not be stamped with the
+        time of an unrelated transient-network blip that happened to land
+        closer to the detection, and two records from repeated injections
+        on the same target each get their own injection rather than both
+        getting the latest one (the double-count this used to produce).
         """
-        for record in self.system.controller.records:
-            if record.failed_at is not None or record.detected_at is None:
-                continue
+        claimed = set()
+        for record in sorted(
+            self.records_pending_stamp(), key=lambda r: r.detected_at
+        ):
+            compatible = RECORD_KIND_COMPAT.get(record.failure_kind, ())
             candidates = [
                 injection
                 for injection in self.injections
-                if injection.injected_at <= record.detected_at
+                if injection.kind in compatible
+                and injection.injected_at <= record.detected_at
             ]
-            if candidates:
-                record.failed_at = candidates[-1].injected_at
+            if not candidates:
+                continue
+            unclaimed = [c for c in candidates if id(c) not in claimed]
+            # Earliest unclaimed compatible injection: the record's ground
+            # truth is when the failure it recovered from began.  When
+            # every compatible injection is already claimed (a re-detected
+            # failure), fall back to the latest one rather than nothing.
+            chosen = unclaimed[0] if unclaimed else candidates[-1]
+            claimed.add(id(chosen))
+            record.failed_at = chosen.injected_at
+
+    def records_pending_stamp(self):
+        return [
+            record
+            for record in self.system.controller.records
+            if record.failed_at is None and record.detected_at is not None
+        ]
 
     # -- the four Table 1 scenarios -----------------------------------------
 
@@ -97,6 +132,19 @@ class FailureInjector:
         NSR, but the ablations exercise the fail-safe: ACKs stay held)."""
         injection = self._record("database", "db")
         self.system.db.fail()
+        return injection
+
+    def transient_database_failure(self, duration):
+        """Database blip: the KV store is unavailable for ``duration``.
+
+        While it is down, held ACKs stay held (the fail-safe direction)
+        and write batches retry; a blip shorter than the retry budget
+        (``WRITE_RETRIES`` x the client RPC timeout) commits everything
+        once the store returns, so NSR state is never lost.
+        """
+        injection = self._record("database", "db")
+        self.system.db.fail()
+        self.engine.schedule(duration, self.system.db.recover)
         return injection
 
     def agent_failure(self):

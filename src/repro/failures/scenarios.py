@@ -1,24 +1,33 @@
-"""The Table 1 scenario library.
+"""The failure scenario library.
 
-Each scenario couples a failure class with its fleet frequency (Table 1)
-and the injector method that produces it.
+Each scenario couples a failure class with its fleet frequency (Table 1
+where the paper reports one), the injector method that produces it, and
+a severity class the chaos engine uses when composing schedules:
+
+- ``hard`` scenarios destroy state and trigger a migration; the chaos
+  generator spaces them apart so each recovery can complete;
+- ``soft`` scenarios (jitter, database blips, agent death) must be
+  survived in place with no migration and no NSR impact, so the
+  generator overlaps them freely — including inside recovery windows.
 """
 
 
 class Scenario:
     """One failure scenario."""
 
-    def __init__(self, name, frequency, inject, target_kind):
+    def __init__(self, name, frequency, inject, target_kind, severity="hard"):
         self.name = name
         self.frequency = frequency
-        self.inject = inject  # fn(injector, pair_or_machine) -> Injection
-        self.target_kind = target_kind  # "pair" | "machine"
+        self.inject = inject  # fn(injector, target) -> Injection
+        self.target_kind = target_kind  # "pair" | "machine" | "system"
+        self.severity = severity  # "hard" | "soft"
 
     def __repr__(self):
-        return f"<Scenario {self.name} ({self.frequency:.0%})>"
+        return f"<Scenario {self.name} ({self.frequency:.0%}, {self.severity})>"
 
 
 SCENARIOS = [
+    # -- Table 1 -----------------------------------------------------------
     Scenario(
         "application",
         0.03,
@@ -43,6 +52,36 @@ SCENARIOS = [
         lambda injector, machine: injector.host_network_failure(machine),
         "machine",
     ),
+    # -- beyond Table 1 ----------------------------------------------------
+    Scenario(
+        "container_network",
+        0.0,
+        lambda injector, pair: injector.container_network_failure(pair),
+        "pair",
+    ),
+    Scenario(
+        "transient_network",
+        0.0,
+        lambda injector, machine: injector.transient_host_network_failure(
+            machine, 1.0
+        ),
+        "machine",
+        severity="soft",
+    ),
+    Scenario(
+        "database_blip",
+        0.0,
+        lambda injector, _target: injector.transient_database_failure(0.8),
+        "system",
+        severity="soft",
+    ),
+    Scenario(
+        "agent",
+        0.0,
+        lambda injector, _target: injector.agent_failure(),
+        "system",
+        severity="soft",
+    ),
 ]
 
 
@@ -51,3 +90,7 @@ def scenario(name):
         if entry.name == name:
             return entry
     raise KeyError(name)
+
+
+def scenarios_by_severity(severity):
+    return [entry for entry in SCENARIOS if entry.severity == severity]

@@ -204,5 +204,26 @@ class Engine:
         """Run for ``duration`` seconds of virtual time."""
         return self.run(until=self._now + duration)
 
+    def run_stepped(self, until, on_step, quantum=0.05):
+        """Run to ``until`` in ``quantum``-sized slices, calling
+        ``on_step(now)`` after each slice.
+
+        The continuous-checking driver for invariant oracles: the oracle
+        callback observes the system at a bounded virtual-time granularity
+        without wiring itself into every event.  ``on_step`` may call
+        :meth:`stop` to abort the run early (e.g. on the first violation).
+        Returns the number of events executed.
+        """
+        if quantum <= 0:
+            raise SimulationError(f"quantum must be positive (quantum={quantum})")
+        executed = 0
+        while self._now < until:
+            slice_end = min(self._now + quantum, until)
+            executed += self.run(until=slice_end)
+            on_step(self._now)
+            if self._stopped:
+                break
+        return executed
+
     def __repr__(self):
         return f"<Engine t={self._now:.6f} pending={self.pending()}>"

@@ -14,6 +14,11 @@ class RouteGenerator:
     """Deterministic route-set generator."""
 
     def __init__(self, rng, origin_as, next_hop="0.0.0.0", attr_pool_size=64):
+        # Accept either a plain ``random.Random`` or a
+        # ``DeterministicRandom`` namespace (drawn from its own stream so
+        # the route set is independent of other consumers of the seed).
+        if hasattr(rng, "stream"):
+            rng = rng.stream("routes")
         self.rng = rng
         self.origin_as = origin_as
         self.next_hop = next_hop
@@ -23,8 +28,13 @@ class RouteGenerator:
 
     def _random_attributes(self):
         path_len = self.rng.randint(1, 5)
+        # Upstream hops draw from 64600-64899: the full 64512-65535
+        # private range also contains every gateway/remote AS the test
+        # topologies use (65001, 64512+i), and a generated path holding
+        # the receiving speaker's own AS is silently dropped as a loop —
+        # which made route-count assertions depend on the rng seed.
         asns = [self.origin_as] + [
-            64512 + self.rng.randint(0, 1023) for _ in range(path_len - 1)
+            64600 + self.rng.randint(0, 299) for _ in range(path_len - 1)
         ]
         communities = tuple(
             sorted(
@@ -49,16 +59,16 @@ class RouteGenerator:
             for i in range(count)
         ]
 
-    def routes(self, count, length=24):
+    def routes(self, count, base="10.0.0.0", length=24):
         """``count`` (prefix, attributes) pairs sharing pooled attributes."""
-        prefixes = self.prefixes(count, length=length)
+        prefixes = self.prefixes(count, base=base, length=length)
         return [
             (prefix, self.attr_pool[i % len(self.attr_pool)])
             for i, prefix in enumerate(prefixes)
         ]
 
-    def uniform_routes(self, count, length=24):
+    def uniform_routes(self, count, base="10.0.0.0", length=24):
         """``count`` pairs sharing ONE attribute set (best-case packing)."""
-        prefixes = self.prefixes(count, length=length)
+        prefixes = self.prefixes(count, base=base, length=length)
         attrs = self.attr_pool[0]
         return [(prefix, attrs) for prefix in prefixes]

@@ -1,7 +1,5 @@
 """Shared fixtures and topology helpers for the test suite."""
 
-import random
-
 import pytest
 
 from repro.sim import DeterministicRandom, Engine, Network
@@ -54,8 +52,14 @@ def make_tcp_pair(engine, stack_a, stack_b, port=7000, payload=b""):
     return client, accepted, received
 
 
-def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True):
-    """A full TensorSystem with one pair and one remote AS, converged."""
+def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
+                         rand=None):
+    """A full TensorSystem with one pair and one remote AS, converged.
+
+    ``rand`` overrides the :class:`DeterministicRandom` namespace the
+    workload draws from (the chaos engine forks its schedule namespace
+    into here); by default it derives from ``seed``.
+    """
     from repro.core.system import PeerNeighborSpec, TensorSystem
     from repro.workloads.topology import build_remote_peer
     from repro.workloads.updates import RouteGenerator
@@ -90,7 +94,9 @@ def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True):
         remote.start()
     engine.advance(10.0)
     if routes:
-        gen = RouteGenerator(random.Random(seed), 64512, next_hop="192.0.2.1")
+        if rand is None:
+            rand = DeterministicRandom(seed)
+        gen = RouteGenerator(rand.fork("workload"), 64512, next_hop="192.0.2.1")
         for remote, session in remotes:
             remote.speaker.originate_many(session.config.vrf_name, gen.routes(routes))
             remote.speaker.readvertise(session)

@@ -1,6 +1,5 @@
 """Baseline daemons: profiles, packing behaviour, recovery model."""
 
-import random
 
 import pytest
 
@@ -13,6 +12,7 @@ from repro.baselines import (
 )
 from repro.sim import DeterministicRandom, Engine, Network
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 @pytest.fixture
@@ -38,7 +38,7 @@ def _daemon_pair(engine, net, cls):
 def test_daemons_interoperate(engine, net, cls):
     a, b, sess = _daemon_pair(engine, net, cls)
     assert sess.established
-    gen = RouteGenerator(random.Random(1), 64512, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(1), 64512, next_hop="10.0.0.2")
     b.speaker.originate_many("v1", gen.routes(200))
     b.speaker.readvertise(sess)
     engine.advance(3.0)
@@ -54,7 +54,7 @@ def test_gobgp_has_no_update_packing(engine, net):
 
 def test_gobgp_sends_one_update_per_route(engine, net):
     a, b, sess = _daemon_pair(engine, net, GoBgpDaemon)
-    gen = RouteGenerator(random.Random(2), 65001, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(2), 65001, next_hop="10.0.0.1")
     a.speaker.originate_many("v1", gen.uniform_routes(50))
     gw_session = next(iter(a.speaker.sessions.values()))
     a.speaker.readvertise(gw_session)
@@ -65,7 +65,7 @@ def test_gobgp_sends_one_update_per_route(engine, net):
 
 def test_frr_packs_shared_attributes(engine, net):
     a, b, sess = _daemon_pair(engine, net, FrrDaemon)
-    gen = RouteGenerator(random.Random(2), 65001, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(2), 65001, next_hop="10.0.0.1")
     a.speaker.originate_many("v1", gen.uniform_routes(50))
     gw_session = next(iter(a.speaker.sessions.values()))
     messages_before = gw_session.messages_sent
@@ -76,7 +76,7 @@ def test_frr_packs_shared_attributes(engine, net):
 
 def test_crash_leads_to_peer_withdrawal(engine, net):
     a, b, sess = _daemon_pair(engine, net, FrrDaemon)
-    gen = RouteGenerator(random.Random(3), 65001, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(3), 65001, next_hop="10.0.0.1")
     a.speaker.originate_many("v1", gen.routes(20))
     gw_session = next(iter(a.speaker.sessions.values()))
     a.speaker.readvertise(gw_session)

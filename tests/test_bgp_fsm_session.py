@@ -7,6 +7,7 @@ from repro.bgp.fsm import FsmViolation, SessionState, transition
 from repro.bgp.messages import NotificationMessage
 from repro.bgp.errors import NotificationCode
 from repro.tcpsim import TcpStack
+from repro.sim.rand import DeterministicRandom
 
 
 # -- pure FSM -----------------------------------------------------------------
@@ -120,11 +121,10 @@ def test_notification_drops_session(engine, two_hosts):
 
 def test_session_drop_withdraws_routes_at_peer(engine, two_hosts):
     from repro.workloads.updates import RouteGenerator
-    import random
 
     spk_a, spk_b, sess_a, sess_b = _speaker_pair(engine, two_hosts)
     engine.advance(2.0)
-    gen = RouteGenerator(random.Random(4), 65002, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(4), 65002, next_hop="10.0.0.2")
     spk_b.originate_many("default", gen.routes(50))
     spk_b.readvertise(sess_b)
     engine.advance(2.0)
@@ -154,12 +154,11 @@ def test_active_side_reconnects_after_drop(engine, two_hosts):
 
 def test_graceful_restart_holds_routes(engine, two_hosts):
     from repro.workloads.updates import RouteGenerator
-    import random
 
     spk_a, spk_b, sess_a, sess_b = _speaker_pair(
         engine, two_hosts, hold_time=3, keepalive=1, gr_a=30, gr_b=30)
     engine.advance(2.0)
-    gen = RouteGenerator(random.Random(4), 65002, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(4), 65002, next_hop="10.0.0.2")
     spk_b.originate_many("default", gen.routes(20))
     spk_b.readvertise(sess_b)
     engine.advance(2.0)

@@ -1,6 +1,5 @@
 """Live route propagation: eBGP -> iBGP, withdrawals, policies, refresh."""
 
-import random
 
 import pytest
 
@@ -10,6 +9,7 @@ from repro.bgp.policy import PolicyAction, PrefixList, RouteMap, RouteMapEntry
 from repro.sim import DeterministicRandom, Engine, Network
 from repro.tcpsim import TcpStack
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 def _mesh(engine, network, specs):
@@ -48,7 +48,7 @@ def test_ebgp_route_propagates_to_ibgp_peer(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(1), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(1), 64512, next_hop="10.0.0.1")
     prefix, attrs = gen.routes(1)[0]
     speakers["external"].originate("v", prefix, attrs)
     engine.advance(3.0)
@@ -75,7 +75,7 @@ def test_ibgp_split_horizon(engine, network):
     # the path must not contain AS 65001 or the hub's loop detection
     # (correctly) rejects it, so the internal route carries an external
     # origin AS
-    gen = RouteGenerator(random.Random(2), 64999, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(2), 64999, next_hop="10.0.0.1")
     prefix, attrs = gen.routes(1)[0]
     speakers["rr1"].originate("v", prefix, attrs)
     engine.advance(3.0)
@@ -93,7 +93,7 @@ def test_withdrawal_propagates(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(3), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(3), 64512, next_hop="10.0.0.1")
     prefix, attrs = gen.routes(1)[0]
     speakers["a"].originate("v", prefix, attrs)
     engine.advance(3.0)
@@ -120,7 +120,7 @@ def test_import_policy_filters_on_live_session(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(4), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(4), 64512, next_hop="10.0.0.1")
     allowed = Prefix.parse("10.50.1.0/24")
     denied = Prefix.parse("10.66.1.0/24")
     speakers["a"].originate("v", allowed, gen.attr_pool[0])
@@ -147,7 +147,7 @@ def test_export_policy_rewrites_on_live_session(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(5), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(5), 64512, next_hop="10.0.0.1")
     prefix, attrs = gen.routes(1)[0]
     speakers["a"].originate("v", prefix, attrs)
     engine.advance(3.0)
@@ -168,7 +168,7 @@ def test_route_refresh_readvertises(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(6), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(6), 64512, next_hop="10.0.0.1")
     speakers["a"].originate_many("v", gen.routes(50))
     speakers["a"].readvertise(session_a)
     engine.advance(3.0)
@@ -200,7 +200,7 @@ def test_best_path_switchover_propagates(engine, network):
     for speaker in speakers.values():
         speaker.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(7), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(7), 64512, next_hop="10.0.0.1")
     prefix = Prefix.parse("203.0.113.0/24")
     # src1 offers a long path; sink should first see it via src1
     speakers["src1"].originate("v", prefix,

@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.bgp import AdjRibIn, AsPath, LocRib, Origin, PathAttributes, Prefix
 from repro.bgp.decision import best_path
 from repro.bgp.rib import Route
+from repro.sim.rand import DeterministicRandom
 
 P1 = Prefix.parse("10.0.0.0/8")
 P2 = Prefix.parse("192.0.2.0/24")
@@ -198,9 +199,8 @@ def test_incremental_reselect_matches_full_rescan_10k():
     """Randomized equivalence of the incremental Loc-RIB and a naive
     shadow that re-runs :func:`best_path` from scratch after every
     operation: 10K offers/retracts, byte-identical exports at the end."""
-    import random
 
-    rng = random.Random(20230817)
+    rng = DeterministicRandom(20230817).stream("ops")
     prefixes = [Prefix(i << 12, 20) for i in range(400)]
     peers = [f"peer{i}" for i in range(8)]
     rib = LocRib()

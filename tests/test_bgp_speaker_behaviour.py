@@ -1,6 +1,5 @@
 """Speaker behaviours: VRF isolation, graceful shutdown, MRAI batching."""
 
-import random
 
 import pytest
 
@@ -9,6 +8,7 @@ from repro.bgp.messages import UpdateMessage
 from repro.sim import DeterministicRandom, Engine, Network
 from repro.tcpsim import TcpStack
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 def _two_vrf_setup(engine, network):
@@ -38,7 +38,7 @@ def test_vrf_isolation(engine, network):
     """Routes learned in one VRF never leak into another (§3.1.2: one VRF
     per peering AS is the separation the splitting design relies on)."""
     gw, remotes = _two_vrf_setup(engine, network)
-    gen = RouteGenerator(random.Random(1), 64512, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(1), 64512, next_hop="10.0.0.2")
     red_session = list(remotes["red"].sessions.values())[0]
     remotes["red"].originate_many("red", gen.routes(30))
     remotes["red"].readvertise(red_session)
@@ -80,7 +80,7 @@ def test_mrai_batches_changes_into_few_updates(engine, network):
     b.start()
     engine.advance(3.0)
     messages_before = session_a.messages_sent
-    gen = RouteGenerator(random.Random(2), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(2), 64512, next_hop="10.0.0.1")
     # 200 originations in a burst, all with pooled attributes
     for prefix, attrs in gen.uniform_routes(200):
         a.originate("v", prefix, attrs)
@@ -106,7 +106,7 @@ def test_withdrawals_batch_through_mrai(engine, network):
     a.start()
     b.start()
     engine.advance(3.0)
-    gen = RouteGenerator(random.Random(3), 64512, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(3), 64512, next_hop="10.0.0.1")
     routes = gen.uniform_routes(100)
     for prefix, attrs in routes:
         a.originate("v", prefix, attrs)

@@ -6,6 +6,7 @@ from repro.core.splitting import (
     SplitPlan,
     plan_split,
 )
+from repro.sim.rand import DeterministicRandom
 
 
 def _peerings():
@@ -78,7 +79,6 @@ def test_deterministic_naming():
 def test_joint_containers_share_information_via_ibgp(engine, network):
     """Figure 4: two member speakers + a joint speaker iBGP-meshed; the
     joint sees routes from both members and can pick the global best."""
-    import random
 
     from repro.bgp import BgpSpeaker, PeerConfig, SpeakerConfig
     from repro.tcpsim import TcpStack
@@ -107,7 +107,7 @@ def test_joint_containers_share_information_via_ibgp(engine, network):
         speaker.start()
     engine.advance(5.0)
     assert m1.established and m2.established
-    gen = RouteGenerator(random.Random(3), 65001, next_hop="10.0.1.1")
+    gen = RouteGenerator(DeterministicRandom(3), 65001, next_hop="10.0.1.1")
     # both members originate the same prefix with different local-pref
     prefix = gen.prefixes(1)[0]
     speakers["member1"].originate("shared", prefix, gen.attr_pool[0].replace(local_pref=100))

@@ -1,6 +1,5 @@
 """The TENSOR BGP process: replication interposition on live sessions."""
 
-import random
 
 import pytest
 
@@ -12,6 +11,7 @@ from repro.kvstore import KvClient, KvServer
 from repro.sim import DeterministicRandom, Engine, Network
 from repro.tcpsim import TcpStack
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 @pytest.fixture
@@ -59,7 +59,7 @@ def test_session_establishes_and_sess_record_written(env):
 
 def test_incoming_updates_replicated_applied_pruned(env):
     engine, db, _pipeline, tensor, peer, peer_session = env
-    gen = RouteGenerator(random.Random(1), 64512, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(1), 64512, next_hop="10.0.0.2")
     peer.originate_many("v1", gen.routes(500))
     peer.readvertise(peer_session)
     engine.advance(5.0)
@@ -75,7 +75,7 @@ def test_incoming_updates_replicated_applied_pruned(env):
 def test_storage_bound_invariant_over_time(env):
     """§3.1.2: <= 64 KB of message records per connection, steady state."""
     engine, db, _pipeline, tensor, peer, peer_session = env
-    gen = RouteGenerator(random.Random(2), 64512, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(2), 64512, next_hop="10.0.0.2")
     for round_num in range(5):
         peer.originate_many("v1", gen.routes(200, length=24 if round_num % 2 else 23))
         peer.readvertise(peer_session)
@@ -85,7 +85,7 @@ def test_storage_bound_invariant_over_time(env):
 
 def test_outgoing_messages_replicated_before_transmit(env):
     engine, db, _pipeline, tensor, peer, peer_session = env
-    gen = RouteGenerator(random.Random(3), 65001, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(3), 65001, next_hop="10.0.0.1")
     tensor.originate_many("v1", gen.routes(100))
     gw_session = next(iter(tensor.sessions.values()))
     tensor.readvertise(gw_session)
@@ -97,7 +97,7 @@ def test_outgoing_messages_replicated_before_transmit(env):
 
 def test_outgoing_records_pruned_after_remote_ack(env):
     engine, db, _pipeline, tensor, peer, peer_session = env
-    gen = RouteGenerator(random.Random(4), 65001, next_hop="10.0.0.1")
+    gen = RouteGenerator(DeterministicRandom(4), 65001, next_hop="10.0.0.1")
     tensor.originate_many("v1", gen.routes(50))
     gw_session = next(iter(tensor.sessions.values()))
     tensor.readvertise(gw_session)
@@ -126,7 +126,7 @@ def test_ack_inference_alignment_on_live_session(env):
 def test_tensor_receive_slower_than_frr_baseline(env):
     """Fig. 6(a): the replication machinery costs measurable extra time."""
     engine, _db, _pipeline, tensor, peer, peer_session = env
-    gen = RouteGenerator(random.Random(5), 64512, next_hop="10.0.0.2")
+    gen = RouteGenerator(DeterministicRandom(5), 64512, next_hop="10.0.0.2")
     routes = gen.routes(2000)
     peer.originate_many("v1", routes)
     start = engine.now
@@ -143,7 +143,7 @@ def test_crash_stops_replication_and_holds(env):
     tensor.crash()
     tensor.stack.destroy()
     before = len(db.store)
-    peer.originate_many("v1", RouteGenerator(random.Random(6), 64512).routes(10))
+    peer.originate_many("v1", RouteGenerator(DeterministicRandom(6), 64512).routes(10))
     peer.readvertise(peer_session)
     engine.advance(3.0)
     assert tensor.replicated_in_messages == 0 or len(db.store) >= before  # no crash explosion

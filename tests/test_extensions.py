@@ -3,7 +3,6 @@ the eBPF interception backend and remote replication for disaster
 recovery.
 """
 
-import random
 
 import pytest
 
@@ -11,6 +10,7 @@ from repro.core.system import PeerNeighborSpec, TensorSystem
 from repro.failures import FailureInjector
 from repro.workloads.topology import build_remote_peer
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 def _system(routes=500, **kwargs):
@@ -30,7 +30,7 @@ def _system(routes=500, **kwargs):
     remote.start()
     system.engine.advance(10.0)
     if routes:
-        gen = RouteGenerator(random.Random(4), 64512, next_hop="192.0.2.1")
+        gen = RouteGenerator(DeterministicRandom(4), 64512, next_hop="192.0.2.1")
         remote.speaker.originate_many("v0", gen.routes(routes))
         start = system.engine.now
         remote.speaker.readvertise(session)
@@ -95,7 +95,7 @@ def _fully_acked_time(routes=20_000, **kwargs):
     session = remote.peer_with("10.10.0.1", 65001, vrf_name="v0", mode="active")
     pair.start(); remote.start()
     system.engine.advance(10.0)
-    gen = RouteGenerator(random.Random(4), 64512, next_hop="192.0.2.1")
+    gen = RouteGenerator(DeterministicRandom(4), 64512, next_hop="192.0.2.1")
     remote.speaker.originate_many("v0", gen.routes(routes))
     start = system.engine.now
     remote.speaker.readvertise(session)

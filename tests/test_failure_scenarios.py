@@ -1,0 +1,145 @@
+"""Every registered failure scenario, judged by the oracle suite.
+
+The scenario registry (Table 1 plus the soft classes) is the chaos
+engine's vocabulary; this file runs each entry in isolation under the
+same continuous oracles a chaos schedule uses, so a scenario that breaks
+an NSR invariant is caught here with a one-failure trace before any
+randomized composition ever hits it.
+
+Also the regression net for :meth:`FailureInjector.stamp_records`: each
+controller record must be stamped with the ground truth of the failure
+it actually recovered from, even under repeated injections on the same
+target and unrelated near-in-time injections.
+"""
+
+import pytest
+
+from repro.failures import FailureInjector, OracleSuite
+from repro.failures.scenarios import SCENARIOS, scenario, scenarios_by_severity
+from repro.sim import DeterministicRandom
+from repro.workloads.updates import RouteGenerator
+
+from conftest import build_tensor_fixture
+
+CHECK_QUANTUM = 0.05
+
+
+def _oracle_fixture(seed, routes=150):
+    """A converged system plus an armed OracleSuite that knows the
+    workload intent (the originated prefixes)."""
+    system, pair, remotes = build_tensor_fixture(seed=seed, routes=0)
+    suite = OracleSuite(system, pair, remotes)
+    rand = DeterministicRandom(seed)
+    gen = RouteGenerator(rand.fork("workload"), 64512, next_hop="192.0.2.1")
+    generated = gen.routes(routes)
+    for index, (remote, session) in enumerate(remotes):
+        remote.speaker.originate_many(session.config.vrf_name, generated)
+        remote.speaker.readvertise(session)
+        suite.note_originate(index, [p for p, _a in generated])
+    system.engine.advance(5.0)
+    suite.arm()
+    return system, pair, remotes, suite
+
+
+def _target_for(entry, system, pair):
+    if entry.target_kind == "pair":
+        return pair
+    if entry.target_kind == "machine":
+        return pair.active_machine
+    return None  # "system" scenarios ignore the target
+
+
+@pytest.mark.parametrize("entry", SCENARIOS, ids=lambda entry: entry.name)
+def test_scenario_passes_oracle_suite(entry):
+    system, pair, remotes, suite = _oracle_fixture(seed=500)
+    engine = system.engine
+    injector = FailureInjector(system)
+
+    def fire():
+        target = _target_for(entry, system, pair)
+        duration = 1.0 if entry.name == "transient_network" else 0.8
+        suite.note_injection(
+            entry.name,
+            target_name=target.name if hasattr(target, "name") else None,
+            duration=duration,
+        )
+        entry.inject(injector, target)
+
+    engine.schedule(2.0, fire)
+    engine.run_stepped(engine.now + 35.0, suite.check, quantum=CHECK_QUANTUM)
+    assert suite.first_violation is None, suite.summary()
+
+    injector.stamp_records()
+    completed = system.controller.completed_records()
+    if entry.severity == "hard":
+        assert completed, "hard scenario must produce a migration record"
+        assert completed[0].failed_at == pytest.approx(
+            injector.injections[0].injected_at
+        )
+    else:
+        # soft scenarios are survived in place: no migration at all
+        assert not system.controller.records
+
+
+def test_registry_covers_both_severities():
+    names = {entry.name for entry in SCENARIOS}
+    assert {"application", "container", "host_machine", "host_network"} <= names
+    assert {entry.name for entry in scenarios_by_severity("soft")} == {
+        "transient_network", "database_blip", "agent"
+    }
+    assert scenario("container").severity == "hard"
+    with pytest.raises(KeyError):
+        scenario("nope")
+
+
+# ----------------------------------------------------------------------
+# stamp_records ground-truth matching
+# ----------------------------------------------------------------------
+
+
+def test_stamp_records_repeated_injections_each_claim_their_own():
+    """Two container failures in sequence -> two records, each stamped
+    with its *own* injection time (the double-count regression: both
+    records used to get the same, latest injection)."""
+    system, pair, _remotes = build_tensor_fixture(seed=501, routes=50)
+    injector = FailureInjector(system)
+    first = injector.container_failure(pair)
+    system.engine.advance(20.0)
+    second = injector.container_failure(pair)
+    system.engine.advance(20.0)
+    injector.stamp_records()
+    records = sorted(
+        system.controller.completed_records(), key=lambda r: r.detected_at
+    )
+    assert len(records) == 2
+    assert records[0].failed_at == first.injected_at
+    assert records[1].failed_at == second.injected_at
+    assert records[0].failed_at != records[1].failed_at
+
+
+def test_stamp_records_ignores_incompatible_injections():
+    """An unrelated database blip landing nearer the detection must not
+    become a container record's ground truth."""
+    system, pair, _remotes = build_tensor_fixture(seed=502, routes=50)
+    injector = FailureInjector(system)
+    container = injector.container_failure(pair)
+    system.engine.advance(0.05)
+    injector.transient_database_failure(0.3)  # closer to the detection
+    system.engine.advance(20.0)
+    injector.stamp_records()
+    records = system.controller.completed_records()
+    assert len(records) == 1
+    assert records[0].failure_kind == "container"
+    assert records[0].failed_at == container.injected_at
+
+
+def test_stamp_records_is_idempotent():
+    system, pair, _remotes = build_tensor_fixture(seed=503, routes=50)
+    injector = FailureInjector(system)
+    injection = injector.application_failure(pair)
+    system.engine.advance(10.0)
+    injector.stamp_records()
+    injector.stamp_records()
+    records = system.controller.completed_records()
+    assert len(records) == 1
+    assert records[0].failed_at == injection.injected_at

@@ -6,7 +6,6 @@ another; every recovery must complete, every remote session must hold,
 and total remote-visible downtime must stay zero.
 """
 
-import random
 
 import pytest
 
@@ -14,6 +13,7 @@ from repro.core.system import PeerNeighborSpec, TensorSystem
 from repro.failures import FailureInjector
 from repro.workloads.topology import DowntimeObserver, build_remote_peer
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 PAIRS = 6
 ROUTES = 100
@@ -46,7 +46,7 @@ def build_fleet(seed=700):
         remote.start()
         pairs.append((pair, remote, session))
     system.engine.advance(12.0)
-    gen = RouteGenerator(random.Random(seed), 64512, next_hop="192.0.2.1")
+    gen = RouteGenerator(DeterministicRandom(seed), 64512, next_hop="192.0.2.1")
     for _pair, remote, session in pairs:
         remote.speaker.originate_many("v0", gen.routes(ROUTES))
         remote.speaker.readvertise(session)
@@ -64,7 +64,7 @@ def build_fleet(seed=700):
 def test_fleet_survives_mixed_failure_stream():
     system, pairs, observers = build_fleet()
     injector = FailureInjector(system)
-    rng = random.Random(99)
+    rng = DeterministicRandom(99).stream("failures")
     # a failure every ~25 s for a few virtual minutes, drawn from the
     # Table 1 mix (machine-level failures target non-fenced machines)
     for round_num in range(6):

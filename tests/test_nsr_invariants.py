@@ -7,7 +7,6 @@ TCP retransmission; (3) without the delayed ACK (the ablation), the
 §3.1.1 inconsistency is real and observable.
 """
 
-import random
 
 import pytest
 
@@ -17,6 +16,7 @@ from repro.workloads.topology import build_remote_peer
 from repro.workloads.updates import RouteGenerator
 
 from conftest import build_tensor_fixture
+from repro.sim.rand import DeterministicRandom
 
 
 @pytest.mark.parametrize("crash_delay", [0.005, 0.02, 0.05, 0.12, 0.3, 0.8])
@@ -26,7 +26,7 @@ def test_crash_during_transfer_loses_nothing(crash_delay):
     system, pair, remotes = build_tensor_fixture(seed=200, routes=0)
     engine = system.engine
     remote, session = remotes[0]
-    gen = RouteGenerator(random.Random(9), 64512, next_hop="192.0.2.1")
+    gen = RouteGenerator(DeterministicRandom(9), 64512, next_hop="192.0.2.1")
     remote.speaker.originate_many("v0", gen.routes(3000))
     remote.speaker.readvertise(session)
     engine.advance(crash_delay)  # crash lands mid-transfer
@@ -69,7 +69,7 @@ def test_no_ack_released_before_replication():
             violations.append((engine.now, seg.ack, base + covered))
 
     system.network.tap(check_ack)
-    gen = RouteGenerator(random.Random(10), 64512, next_hop="192.0.2.1")
+    gen = RouteGenerator(DeterministicRandom(10), 64512, next_hop="192.0.2.1")
     remote.speaker.originate_many("v0", gen.routes(1000))
     remote.speaker.readvertise(session)
     engine.advance(20.0)
@@ -101,7 +101,7 @@ def test_ablation_no_delayed_ack_loses_data():
         pair.start()
         remote.start()
         engine.advance(10.0)
-        gen = RouteGenerator(random.Random(11), 64512, next_hop="192.0.2.1")
+        gen = RouteGenerator(DeterministicRandom(11), 64512, next_hop="192.0.2.1")
         remote.speaker.originate_many("v0", gen.routes(800))
         # database dies just as the updates arrive: writes never commit
         system.db.fail()
@@ -135,7 +135,7 @@ def test_storage_bound_holds_under_churn():
     system, pair, remotes = build_tensor_fixture(seed=203, routes=500)
     engine = system.engine
     remote, session = remotes[0]
-    gen = RouteGenerator(random.Random(12), 64512, next_hop="192.0.2.1")
+    gen = RouteGenerator(DeterministicRandom(12), 64512, next_hop="192.0.2.1")
     for round_num in range(3):
         remote.speaker.originate_many("v0", gen.routes(400, length=20 + round_num))
         remote.speaker.readvertise(session)

@@ -178,3 +178,36 @@ def test_callback_args_passed_through():
     engine.schedule(0.1, lambda a, b: got.append((a, b)), 1, "two")
     engine.run_until_idle()
     assert got == [(1, "two")]
+
+
+def test_run_stepped_observes_every_quantum():
+    engine = Engine()
+    seen = []
+    fired = []
+    engine.schedule(0.3, fired.append, "a")
+    engine.schedule(0.9, fired.append, "b")
+    executed = engine.run_stepped(1.0, seen.append, quantum=0.25)
+    assert executed == 2
+    assert fired == ["a", "b"]
+    assert seen == pytest.approx([0.25, 0.5, 0.75, 1.0])
+    assert engine.now == 1.0
+
+
+def test_run_stepped_stop_aborts_after_current_slice():
+    engine = Engine()
+    seen = []
+
+    def observer(now):
+        seen.append(now)
+        if now >= 0.5:
+            engine.stop()
+
+    engine.run_stepped(10.0, observer, quantum=0.25)
+    assert seen == pytest.approx([0.25, 0.5])
+    assert engine.now == 0.5
+
+
+def test_run_stepped_rejects_nonpositive_quantum():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.run_stepped(1.0, lambda now: None, quantum=0.0)

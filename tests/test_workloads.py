@@ -1,6 +1,5 @@
 """Workload generators: routes, traffic distribution, operations model."""
 
-import random
 
 import pytest
 
@@ -14,34 +13,35 @@ from repro.workloads.operations import (
 )
 from repro.workloads.traffic import TrafficModel, empirical_cdf, percentile
 from repro.workloads.updates import RouteGenerator
+from repro.sim.rand import DeterministicRandom
 
 
 # -- route generation ----------------------------------------------------------
 
 
 def test_prefixes_distinct_and_deterministic():
-    gen = RouteGenerator(random.Random(1), 64512)
+    gen = RouteGenerator(DeterministicRandom(1), 64512)
     a = gen.prefixes(10_000)
-    b = RouteGenerator(random.Random(1), 64512).prefixes(10_000)
+    b = RouteGenerator(DeterministicRandom(1), 64512).prefixes(10_000)
     assert a == b
     assert len(set(a)) == 10_000
 
 
 def test_routes_share_pooled_attributes():
-    gen = RouteGenerator(random.Random(1), 64512, attr_pool_size=8)
+    gen = RouteGenerator(DeterministicRandom(1), 64512, attr_pool_size=8)
     routes = gen.routes(100)
     distinct = {attrs.key() for _p, attrs in routes}
     assert len(distinct) <= 8
 
 
 def test_routes_contain_origin_as():
-    gen = RouteGenerator(random.Random(2), 64512)
+    gen = RouteGenerator(DeterministicRandom(2), 64512)
     for _p, attrs in gen.routes(50):
         assert attrs.as_path.first_as() == 64512
 
 
 def test_uniform_routes_single_attribute_set():
-    gen = RouteGenerator(random.Random(3), 64512)
+    gen = RouteGenerator(DeterministicRandom(3), 64512)
     routes = gen.uniform_routes(100)
     assert len({attrs.key() for _p, attrs in routes}) == 1
 
@@ -49,7 +49,7 @@ def test_uniform_routes_single_attribute_set():
 def test_routes_encode_into_updates():
     from repro.bgp.packing import pack_routes
 
-    gen = RouteGenerator(random.Random(4), 64512, next_hop="1.2.3.4")
+    gen = RouteGenerator(DeterministicRandom(4), 64512, next_hop="1.2.3.4")
     messages = pack_routes(gen.routes(1000))
     assert sum(len(m.nlri) for m in messages) == 1000
     for message in messages:
