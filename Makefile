@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
 SEEDS ?= 25
 
-.PHONY: test bench bench-hotpath bench-gate chaos chaos-corpus chaos-ablation verify
+.PHONY: test bench bench-hotpath bench-gate chaos chaos-corpus chaos-ablation trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -33,6 +33,11 @@ chaos-corpus:
 # the ack_durability oracle and produce a replayable shrunk repro.
 chaos-ablation:
 	$(PYTHON) -m repro.failures.chaos --ablation
+
+# Causal-tracing walkthrough (DESIGN.md §10): phase latency summary,
+# one update's critical path, and the delayed-ACK invariant check.
+trace-demo:
+	$(PYTHON) -m repro.trace.demo
 
 # The full gate: tier-1 tests, hot-path perf regression, chaos corpus.
 verify: test bench-gate chaos-corpus

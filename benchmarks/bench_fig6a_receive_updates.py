@@ -11,6 +11,7 @@ routing updates".
 from conftest import PROFILES, PROFILE_LABELS, DaemonLab, run_once
 from repro.metrics import format_table
 from repro.sim.calibration import BGP_SESSION_SETUP_COST
+from repro.trace import Tracer
 
 UPDATE_COUNTS = (100, 1_000, 10_000, 50_000, 100_000, 500_000)
 
@@ -60,3 +61,43 @@ def test_fig6a_receive_updates(benchmark):
     for profile in PROFILES:
         ratio = results[profile][idx[500_000]] / results[profile][idx[100_000]]
         assert 3.0 < ratio < 7.0
+
+
+def run_traced_receive(count=1_000):
+    """One TENSOR receive run with the causal tracer attached; returns
+    (trace store, wall-clock receive time)."""
+    lab = DaemonLab("tensor")
+    tracer = Tracer(lab.engine)  # installed after convergence
+    elapsed = lab.receive_time(count)
+    lab.engine.advance(2.0)  # drain in-flight replication + held ACKs
+    return tracer.store, elapsed
+
+
+def test_fig6a_tensor_phase_budget(benchmark):
+    """Fig. 6(a) shows TENSOR's receive-path total; the tracer shows
+    where it goes.  Phase-level budget: replication (the only phase
+    TENSOR adds over a plain speaker) must account for the bulk of the
+    per-update latency, the delayed-ACK equality must hold for every
+    update, and no phase may exceed the sub-second overhead the paper
+    claims for tens of thousands of updates."""
+    store, elapsed = run_once(benchmark, run_traced_receive)
+    summary = store.phase_summary()
+    print()
+    print(format_table(
+        ["phase", "spans", "mean ms", "max ms"],
+        [[p, s["count"], f"{s['mean'] * 1e3:.3f}", f"{s['max'] * 1e3:.3f}"]
+         for p, s in summary.items()],
+        title=f"Fig 6(a) companion: TENSOR per-phase receive latency"
+              f" (1,000 updates in {elapsed:.3f}s)",
+    ))
+    # the lab's single peer means no re-propagation; the other four
+    # phases must cover every traced update
+    updates = len(store.update_ids(msg="UpdateMessage"))
+    assert updates > 0
+    for phase in ("receive", "replicate", "ack_release", "apply"):
+        assert summary[phase]["count"] >= updates
+    assert store.delayed_ack_violations() == []
+    # budget: replication dominates, yet every phase stays sub-second
+    assert summary["replicate"]["mean"] > summary["apply"]["mean"]
+    for phase in ("receive", "replicate", "ack_release", "apply"):
+        assert summary[phase]["max"] < 1.0

@@ -84,6 +84,12 @@ class PeerSession:
         self.cumulative_received = 0  # whole-message bytes consumed
         self.cumulative_sent = 0
 
+        # Tracing: when the bytes of the message currently being decoded
+        # started arriving (spans TCP segment reassembly), and the arrival
+        # instant of the message most recently handed to dispatch.
+        self._trace_rx_since = None
+        self.last_rx_began = None
+
         # Statistics
         self.messages_received = 0
         self.messages_sent = 0
@@ -178,10 +184,21 @@ class PeerSession:
     def _on_bytes(self, _conn, data):
         if self.hold_timer.armed:
             self.hold_timer.restart(self.negotiated_hold_time)
+        tracing = self.engine._trace_hook is not None
+        if tracing and self._trace_rx_since is None:
+            # First bytes of a fresh message (multi-segment messages keep
+            # the mark from the segment that started them).
+            self._trace_rx_since = self.engine.now
         for message, size in self.decoder.feed(data):
             self.cumulative_received += size
             self.messages_received += 1
+            if tracing:
+                self.last_rx_began = self._trace_rx_since
+                # any further message in this batch arrived with this segment
+                self._trace_rx_since = self.engine.now
             self.speaker.dispatch_received(self, message, size)
+        if tracing and self.decoder.pending_bytes == 0:
+            self._trace_rx_since = None
         self.speaker.stream_progress(self)
 
     @property

@@ -123,6 +123,11 @@ class BgpSpeaker:
         self._cpu_busy_until = 0.0
         self._pending_adverts = {}  # session.peer_id -> {prefix: route-or-None}
         self._flush_scheduled = False
+        # Tracing: trace ids of the received UPDATEs whose changes are
+        # queued for the next MRAI flush; the flush's outgoing ``propagate``
+        # spans carry them as ``links`` (fan-out breaks single parentage).
+        self._pending_advert_links = set()
+        self._flushing_links = ()
         self.log_lines = []
         self.last_apply_time = None
         self.total_updates_received = 0
@@ -377,6 +382,8 @@ class BgpSpeaker:
         return next(iter(self.vrfs.values()))
 
     def _queue_change(self, origin_session, vrf, prefix, old, new):
+        hook = self.engine._trace_hook
+        ambient = hook.current if hook is not None else None
         for session in self.sessions.values():
             if session.config.vrf_name != vrf.name:
                 continue
@@ -394,14 +401,24 @@ class BgpSpeaker:
             ):
                 continue
             self._pending_adverts.setdefault(session.peer_id, {})[prefix] = new
+            if ambient is not None:
+                self._pending_advert_links.add(ambient.trace_id)
         if self._pending_adverts and not self._flush_scheduled:
             self._flush_scheduled = True
             self.engine.schedule(self.config.mrai, self._flush_adverts)
 
     def _flush_adverts(self):
         self._flush_scheduled = False
+        links, self._pending_advert_links = self._pending_advert_links, set()
         if not self.running:
             return
+        self._flushing_links = tuple(sorted(links))
+        try:
+            self._flush_adverts_inner()
+        finally:
+            self._flushing_links = ()
+
+    def _flush_adverts_inner(self):
         pending, self._pending_adverts = self._pending_adverts, {}
         # Group sessions whose queued change-set is identical (the common
         # fan-out case: one received UPDATE propagating to N-1 peers), so

@@ -14,6 +14,7 @@ number is covered.
 """
 
 from repro.netfilter import Rule, Verdict
+from repro.trace.tracer import tracer_of
 
 TENSOR_ACK_QUEUE = 1
 
@@ -129,29 +130,49 @@ class TcpQueueThread:
         entry["held"].append((ack, queued))
         self.acks_held += 1
 
-    def note_replicated(self, keys, ack_position, record_key):
+    def note_replicated(self, keys, ack_position, record_key, span=None):
         """The main/keepalive thread committed a message record.
 
         Verify it in the database (unless configured off), then release
-        all held ACKs the position covers.
+        all held ACKs the position covers.  ``span`` is the caller's open
+        ``ack_release`` trace span: it brackets the verify-read and the
+        verdict, and released hold spans are linked back to its trace.
         """
         entry = self._entry_for_keys(keys)
         if entry is None:
+            if span is not None:
+                span.finish(outcome="unmanaged")
             return
         if not self.verify_reads:
-            self._confirm(entry, ack_position)
+            self._confirm(entry, ack_position, span)
             return
         self.verify_read_count += 1
+        verify_span = None
+        if span is not None:
+            verify_span = tracer_of(self.engine).begin(
+                "verify_read", parent=span, key=record_key
+            )
         self.pipeline.verify_read(
             record_key,
-            on_value=lambda value: self._on_verified(entry, ack_position, value),
-            on_error=lambda _m: None,  # DB unreachable: ACKs stay held
+            on_value=lambda value: self._on_verified(
+                entry, ack_position, value, span, verify_span
+            ),
+            on_error=lambda _m: (
+                # DB unreachable: ACKs stay held (fail-safe direction)
+                verify_span.finish(outcome="error")
+                if verify_span is not None else None
+            ),
         )
 
-    def _on_verified(self, entry, ack_position, value):
+    def _on_verified(self, entry, ack_position, value, span=None,
+                     verify_span=None):
+        if verify_span is not None:
+            verify_span.finish(present=value is not None)
         if value is None:
+            if span is not None:
+                span.finish(outcome="unverified")
             return  # not actually present: keep holding (fail-safe)
-        self._confirm(entry, ack_position)
+        self._confirm(entry, ack_position, span)
 
     def when_confirmed(self, keys, ack_number, callback):
         """Run ``callback`` once ``confirmed_pos`` covers ``ack_number``.
@@ -169,7 +190,7 @@ class TcpQueueThread:
             return
         entry["waiters"].append((ack_number, callback))
 
-    def _confirm(self, entry, ack_position):
+    def _confirm(self, entry, ack_position, span=None):
         if ack_position > entry["confirmed_pos"]:
             entry["confirmed_pos"] = ack_position
         if entry["waiters"]:
@@ -196,12 +217,21 @@ class TcpQueueThread:
         # the newest matters, but in-order release keeps traces readable.
         releasable.sort(key=lambda pair: pair[0])
         if releasable:
+            if span is not None:
+                # Link each hold span to the message whose durability
+                # freed it: the delayed-ACK invariant is checked span
+                # against span (hold must outlive the replicate span).
+                for _ack, queued in releasable:
+                    if queued.span is not None:
+                        queued.span.annotate(released_by=span.trace_id)
             # Only the highest ACK needs the wire; older ones are redundant.
             for ack, queued in releasable[:-1]:
                 self.acks_dropped_redundant += 1
                 queued.drop()
             self.acks_released += 1
             releasable[-1][1].accept()
+        if span is not None:
+            span.finish(released=len(releasable))
 
     def _entry_for_keys(self, keys):
         for entry in self._conns.values():

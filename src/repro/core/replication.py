@@ -108,8 +108,10 @@ class WriteCoalescer:
     """
 
     def __init__(self, client, max_batch=512, on_unavailable=None,
-                 max_batch_cap=None):
+                 max_batch_cap=None, name=""):
         self.client = client
+        self.name = name  # channel label ("fast"/"bulk"/"remote") for traces
+        self.engine = getattr(client, "engine", None)
         self.max_batch = max_batch
         self.max_batch_cap = max_batch_cap if max_batch_cap is not None else max_batch * 8
         self.batch_limit = max_batch
@@ -193,10 +195,25 @@ class WriteCoalescer:
         else:
             self._issue_deletes(run, retries=WRITE_RETRIES)
 
+    def _batch_span(self, kind, records):
+        tracer = (
+            getattr(self.engine, "_trace_hook", None)
+            if self.engine is not None else None
+        )
+        if tracer is None:
+            return None
+        return tracer.begin(
+            "repl.batch", parent=None,
+            channel=self.name, kind=kind, records=records,
+        )
+
     def _issue_sets(self, run, retries):
         items = [(key, value) for _kind, key, value, _cb in run]
+        span = self._batch_span("set", len(run))
 
         def on_done():
+            if span is not None:
+                span.finish(outcome="ok")
             self.batches_flushed += 1
             self.records_written += len(run)
             for _kind, _key, _value, callback in run:
@@ -205,6 +222,8 @@ class WriteCoalescer:
             self._flush_run()
 
         def on_error(_method):
+            if span is not None:
+                span.finish(outcome="error")
             self.failures += 1
             if retries > 0:
                 self._issue_sets(run, retries - 1)
@@ -220,8 +239,11 @@ class WriteCoalescer:
                 keys.extend(key)
             else:
                 keys.append(key)
+        span = self._batch_span("delete", len(keys))
 
         def on_done(_removed):
+            if span is not None:
+                span.finish(outcome="ok")
             self.batches_flushed += 1
             self.records_deleted += len(keys)
             for _kind, _key, _value, callback in run:
@@ -230,6 +252,8 @@ class WriteCoalescer:
             self._flush_run()
 
         def on_error(_method):
+            if span is not None:
+                span.finish(outcome="error")
             self.failures += 1
             if retries > 0:
                 self._issue_deletes(run, retries - 1)
@@ -265,8 +289,10 @@ class ReplicationPipeline:
     def __init__(self, pair_name, fast_client, bulk_client, on_unavailable=None,
                  remote_client=None, remote_mode="sync"):
         self.pair_name = pair_name
-        self.fast = WriteCoalescer(fast_client, on_unavailable=on_unavailable)
-        self.bulk = WriteCoalescer(bulk_client, on_unavailable=on_unavailable)
+        self.fast = WriteCoalescer(fast_client, on_unavailable=on_unavailable,
+                                   name="fast")
+        self.bulk = WriteCoalescer(bulk_client, on_unavailable=on_unavailable,
+                                   name="bulk")
         self.fast_client = fast_client
         self.bulk_client = bulk_client
         # §5 "Remote replication for disaster recovery": an optional second
@@ -277,7 +303,8 @@ class ReplicationPipeline:
         if remote_mode not in ("sync", "async"):
             raise ValueError(f"unknown remote_mode {remote_mode!r}")
         self.remote = (
-            WriteCoalescer(remote_client, on_unavailable=on_unavailable)
+            WriteCoalescer(remote_client, on_unavailable=on_unavailable,
+                           name="remote")
             if remote_client is not None
             else None
         )

@@ -71,10 +71,17 @@ class TensorSystem:
     """The whole gateway cluster."""
 
     def __init__(self, engine=None, seed=0, verify_reads=True, hold_acks=True,
-                 hook_technology="netfilter", remote_db=None):
+                 hook_technology="netfilter", remote_db=None, tracing=False):
         """``remote_db``: None, or {"latency": seconds, "mode": "sync"|"async"}
-        to add a disaster-recovery store in another facility (§5)."""
+        to add a disaster-recovery store in another facility (§5).
+        ``tracing=True`` installs a causal tracer on the engine (DESIGN.md
+        §10); query the spans through :attr:`trace_store`."""
         self.engine = engine or Engine()
+        self.tracer = None
+        if tracing:
+            from repro.trace import Tracer
+
+            self.tracer = Tracer(self.engine)
         self.rng = DeterministicRandom(seed)
         self.network = Network(self.engine, self.rng)
         self.network.enable_fabric(
@@ -107,6 +114,11 @@ class TensorSystem:
         self.machines = {}
         self.pairs = {}
         self._machine_probers = {}
+
+    @property
+    def trace_store(self):
+        """The tracer's span store, or None when tracing is off."""
+        return self.tracer.store if self.tracer is not None else None
 
     # ------------------------------------------------------------------
     # topology
@@ -208,6 +220,7 @@ class TensorPair:
         self._bfd_disc_registry = {}  # (vrf, remote) -> (my_disc, your_disc)
         self.activations = 0
         self.on_bfd_down = None
+        self._migration_span = None  # open "migration" trace span
 
     # ------------------------------------------------------------------
     # controller-facing interface
@@ -347,7 +360,21 @@ class TensorPair:
     # recovery action: in-place application restart (E1)
     # ------------------------------------------------------------------
 
+    def _begin_migration_span(self, record, kind):
+        tracer = self.engine._trace_hook
+        if tracer is None:
+            return
+        if self._migration_span is not None:
+            self._migration_span.finish(outcome="superseded")
+        self._migration_span = tracer.begin(
+            "migration", parent=None,
+            pair=self.name, kind=kind,
+            failure=getattr(record, "failure_kind", None),
+            from_container=self.active_container.name,
+        )
+
     def restart_application(self, record, on_done):
+        self._begin_migration_span(record, "app_restart")
         self._suppress_supervision = True
         container = self.active_container
         # the dead processes' sockets and hooks are gone
@@ -410,6 +437,7 @@ class TensorPair:
         if not self._ensure_healthy_standby():
             record.note("no healthy standby machine available; aborting")
             return
+        self._begin_migration_span(record, "backup_activation")
         self.activations += 1
         container = self.standby_container
         if container.running and not cold:
@@ -545,6 +573,14 @@ class TensorPair:
 
     def _recovery_finished(self, record, on_done):
         record.recovered_at = self.engine.now
+        if self._migration_span is not None:
+            # The span links the two process incarnations: the container
+            # that failed and the one now serving the service address.
+            self._migration_span.finish(
+                to_container=self.active_container.name,
+                activations=self.activations,
+            )
+            self._migration_span = None
         self._suppress_supervision = False
         if self.supervisor is not None:
             self.supervisor._reported = False

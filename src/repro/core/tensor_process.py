@@ -19,6 +19,7 @@ from repro.bgp.rib import Route
 from repro.bgp.speaker import BgpSpeaker
 from repro.core.ack_matching import TcpQueueThread
 from repro.core.replication import ConnectionKeys
+from repro.trace.tracer import tracer_of
 
 
 class TensorBgpSpeaker(BgpSpeaker):
@@ -112,21 +113,42 @@ class TensorBgpSpeaker(BgpSpeaker):
         }
         self.replicated_in_messages += 1
         record_key = keys.message("i", position)
+        tracer = tracer_of(self.engine)
+        if tracer.enabled:
+            # Root span: its trace id is the message id the query API uses.
+            trace = tracer.begin(
+                "update", parent=None,
+                msg=type(message).__name__, peer=session.peer_id,
+                conn=keys.conn_id, pos=position, ack=inferred_ack,
+            )
+            rx_began = session.last_rx_began
+            if rx_began is not None:
+                tracer.complete("receive", rx_began, parent=trace, bytes=size)
+            replicate_span = tracer.begin("replicate", parent=trace,
+                                          pos=position)
+
+            def on_committed():
+                replicate_span.finish()
+                release_span = tracer.begin("ack_release", parent=trace,
+                                            ack=inferred_ack)
+                self.tcp_queue.note_replicated(
+                    keys, inferred_ack, record_key, span=release_span
+                )
+        else:
+            trace = None
+
+            def on_committed():
+                self.tcp_queue.note_replicated(keys, inferred_ack, record_key)
+
         self.pipeline.replicate_message(
-            keys,
-            "i",
-            position,
-            record,
-            on_committed=lambda: self.tcp_queue.note_replicated(
-                keys, inferred_ack, record_key
-            ),
+            keys, "i", position, record, on_committed=on_committed
         )
         # Regular processing proceeds in parallel (§3.1.1: "the primary
         # also performs the regular processing of BGP messages").
         cost = self._receive_cost_of(message)
         self.charge(
             cost, self._apply_and_prune, session, message, size, keys, position,
-            inferred_ack,
+            inferred_ack, trace,
         )
 
     def stream_progress(self, session):
@@ -163,9 +185,30 @@ class TensorBgpSpeaker(BgpSpeaker):
             ),
         )
 
-    def _apply_and_prune(self, session, message, size, keys, position, ack=None):
+    def _apply_and_prune(self, session, message, size, keys, position, ack=None,
+                         trace=None):
         if not self.running:
             return
+        if trace is None:
+            self._apply_and_prune_inner(session, message, size, keys, position,
+                                        ack)
+            return
+        tracer = tracer_of(self.engine)
+        # The apply phase runs in parallel with replication: it starts at
+        # dispatch (when the CPU charge was queued) and ends here, after
+        # Loc-RIB reselect and the RIB delta persist are enqueued.  The
+        # body runs under the apply span so queued advertisements link the
+        # resulting propagate spans back to this message.
+        apply_span = tracer.begin("apply", parent=trace, pos=position)
+        apply_span.begin = trace.begin
+        with tracer.activate(apply_span):
+            self._apply_and_prune_inner(session, message, size, keys, position,
+                                        ack)
+        apply_span.finish()
+        trace.finish()
+
+    def _apply_and_prune_inner(self, session, message, size, keys, position,
+                               ack):
         if position <= self._applied_in_pos.get(session.peer_id, 0):
             self.duplicate_applies += 1
         else:
@@ -235,16 +278,38 @@ class TensorBgpSpeaker(BgpSpeaker):
             "wire": wire,
         }
         self.replicated_out_messages += 1
+        tracer = tracer_of(self.engine)
+        span = None
+        if tracer.enabled and isinstance(message, UpdateMessage):
+            # Outgoing UPDATEs are their own trace; ``links`` names the
+            # received messages whose changes this advertisement carries
+            # (empty for resync/initial-table sends).
+            span = tracer.begin(
+                "propagate", parent=None,
+                peer=session.peer_id, pos=position,
+                links=self._flushing_links,
+            )
 
         def after_generation():
             if not self.running:
+                if span is not None:
+                    span.finish(outcome="dropped")
                 return
+            if span is None:
+                self.pipeline.replicate_message(
+                    keys, "o", position, record,
+                    on_committed=lambda: self._transmit(session, message, wire),
+                )
+                return
+            out_span = tracer.begin("replicate_out", parent=span, pos=position)
+
+            def on_committed():
+                out_span.finish()
+                self._transmit(session, message, wire)
+                span.finish()
+
             self.pipeline.replicate_message(
-                keys,
-                "o",
-                position,
-                record,
-                on_committed=lambda: self._transmit(session, message, wire),
+                keys, "o", position, record, on_committed=on_committed
             )
 
         self.charge(generation_cost, after_generation)
@@ -320,6 +385,17 @@ class TensorBgpSpeaker(BgpSpeaker):
         message = record["message"]
         keys = self.keys_for(session)
         cost = self._receive_cost_of(message)
+        tracer = tracer_of(self.engine)
+        trace = None
+        if tracer.enabled:
+            # The replay is a fresh trace in the new process; ``replay``
+            # plus (conn, pos) tie it to the original incarnation's trace.
+            trace = tracer.begin(
+                "update", parent=None, replay=True,
+                msg=type(message).__name__, peer=session.peer_id,
+                conn=keys.conn_id, pos=record["in_pos"],
+                ack=record.get("ack"),
+            )
         self.charge(
             cost,
             self._apply_and_prune,
@@ -329,6 +405,7 @@ class TensorBgpSpeaker(BgpSpeaker):
             keys,
             record["in_pos"],
             record.get("ack"),
+            trace,
         )
 
     # ------------------------------------------------------------------

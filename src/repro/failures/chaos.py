@@ -52,6 +52,12 @@ CHECK_QUANTUM = 0.05
 #: Seeds run by tier-1 (`make test`) as the fixed regression corpus.
 CORPUS_SEEDS = (0, 1, 2, 3, 4, 5)
 
+#: Seeds run with the causal tracer enabled (DESIGN.md §10).  These
+#: exercise the phase-latency oracle: at every settle point the suite
+#: checks that no delayed ACK escaped before its replication span
+#: closed, straight from the trace store.
+TRACED_CORPUS_SEEDS = (6, 7, 8, 9)
+
 
 class ChaosSchedule:
     """One self-contained chaos run: topology knobs + timed events.
@@ -284,9 +290,11 @@ class _WorkloadDriver:
             self.suite.note_withdraw(index, withdrawn)
 
 
-def _build_system(schedule, hold_acks):
+def _build_system(schedule, hold_acks, tracing=False):
     """A converged TensorSystem matching the schedule's topology knobs."""
-    system = TensorSystem(seed=schedule.seed, hold_acks=hold_acks)
+    system = TensorSystem(
+        seed=schedule.seed, hold_acks=hold_acks, tracing=tracing
+    )
     engine = system.engine
     m1 = system.add_machine("gw-1", "10.1.0.1")
     m2 = system.add_machine("gw-2", "10.2.0.1")
@@ -320,14 +328,17 @@ def _build_system(schedule, hold_acks):
     return system, pair, remotes
 
 
-def run_schedule(schedule, hold_acks=True, stop_on_violation=True):
+def run_schedule(schedule, hold_acks=True, stop_on_violation=True,
+                 tracing=False):
     """Replay ``schedule`` under continuous oracles.
 
-    Pure function of ``(schedule, hold_acks)``: two calls return
-    identical violations at identical virtual instants.
+    Pure function of ``(schedule, hold_acks, tracing)``: two calls
+    return identical violations at identical virtual instants.  With
+    ``tracing`` the system runs under a :class:`repro.trace.Tracer`
+    and the suite additionally enforces the phase-latency oracle.
     """
     rand = DeterministicRandom(schedule.seed)
-    system, pair, remotes = _build_system(schedule, hold_acks)
+    system, pair, remotes = _build_system(schedule, hold_acks, tracing)
     engine = system.engine
     suite = OracleSuite(
         system, pair, remotes, stop_on_violation=stop_on_violation
@@ -597,12 +608,13 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
 # CLI: python -m repro.failures.chaos
 # ----------------------------------------------------------------------
 
-def _run_one(seed, hold_acks=True, out_dir="."):
+def _run_one(seed, hold_acks=True, out_dir=".", tracing=False):
     schedule = generate_schedule(seed)
-    result = run_schedule(schedule, hold_acks=hold_acks)
+    result = run_schedule(schedule, hold_acks=hold_acks, tracing=tracing)
     if result.first_violation is None:
+        traced = "traced, " if tracing else ""
         print(
-            f"seed {seed}: ok ({len(schedule.injections)} injections,"
+            f"seed {seed}: ok ({traced}{len(schedule.injections)} injections,"
             f" {len(schedule.workload)} bursts, {schedule.neighbors} neighbors,"
             f" {schedule.duration:.0f}s virtual)"
         )
@@ -642,15 +654,19 @@ def main(argv=None):
     if args.seed is not None:
         return 0 if _run_one(args.seed, out_dir=args.out) else 1
 
-    seeds = (
-        CORPUS_SEEDS if args.corpus
-        else range(args.seeds if args.seeds is not None else 10)
-    )
+    if args.corpus:
+        seeds = [(seed, False) for seed in CORPUS_SEEDS]
+        seeds += [(seed, True) for seed in TRACED_CORPUS_SEEDS]
+    else:
+        seeds = [
+            (seed, False)
+            for seed in range(args.seeds if args.seeds is not None else 10)
+        ]
     failures = 0
-    for seed in seeds:
-        if not _run_one(seed, out_dir=args.out):
+    for seed, tracing in seeds:
+        if not _run_one(seed, out_dir=args.out, tracing=tracing):
             failures += 1
-    total = len(list(seeds))
+    total = len(seeds)
     print(f"{total - failures}/{total} seeds passed")
     return 1 if failures else 0
 

@@ -32,6 +32,11 @@ Oracles (names are stable; repro scripts and docs reference them):
   (skipped when the schedule kills the agent: the relay dies with it).
 - ``storage_bound`` — message records stay within the §3.1.2 64 KB
   per-connection bound at settle points.
+- ``phase_latency`` — (traced runs only, DESIGN.md §10) re-derives the
+  delayed-ACK invariant from the causal trace at settle points: every
+  ``ack_release`` span begins at or after its update's ``replicate``
+  span ends, and every held ACK's ``nfq.hold`` span outlives the
+  replication write that released it.
 """
 
 from repro.bfd.packet import BfdState
@@ -90,6 +95,10 @@ class OracleSuite:
         self._watched_pipeline = None
         self._last_settle_check = -1e9
         self._tap_installed = False
+        # Trace-driven oracle (DESIGN.md §10): present only when the
+        # system runs under a Tracer.
+        self.trace_store = getattr(system, "trace_store", None)
+        self._reported_phase_violations = 0
 
     # ------------------------------------------------------------------
     # driver-facing model updates
@@ -231,6 +240,7 @@ class OracleSuite:
             self._check_convergence(now)
             self._check_bfd(now)
             self._check_storage(now)
+            self._check_phase_latency(now)
         return self.violations
 
     def _check_continuity(self, now):
@@ -373,6 +383,20 @@ class OracleSuite:
                 "storage_bound",
                 f"{footprint} bytes of message records (bound {bound})",
             )
+
+    def _check_phase_latency(self, _now):
+        """Trace-driven §3.1.1 re-check: no ACK-release span may begin
+        before its update's replication span closed, and no held ACK may
+        escape the netfilter queue before the replication write that
+        released it was durable.  Runs at settle points only (it scans
+        the whole trace store)."""
+        store = self.trace_store
+        if store is None:
+            return
+        problems = store.delayed_ack_violations()
+        for problem in problems[self._reported_phase_violations:]:
+            self._violate("phase_latency", problem)
+        self._reported_phase_violations = len(problems)
 
     # ------------------------------------------------------------------
 

@@ -151,3 +151,51 @@ def show_migration_history(controller):
         rows,
         title="Migration history (seconds)",
     )
+
+
+def show_trace(store, msg_id=None, limit=40):
+    """`show trace`: hot-path phase latencies from the causal tracer.
+
+    Without ``msg_id``, a per-phase latency summary over every traced
+    update (DESIGN.md §10).  With ``msg_id`` (an update's trace id from
+    ``store.update_ids()``), the causally ordered critical path of that
+    one message, truncated at ``limit`` spans.
+    """
+    if store is None:
+        return "tracing disabled (construct the system with tracing=True)"
+    if msg_id is None:
+        rows = []
+        for phase, stats in store.phase_summary().items():
+            rows.append([
+                phase,
+                stats["count"],
+                f"{stats['mean'] * 1e3:.3f}",
+                f"{stats['median'] * 1e3:.3f}",
+                f"{stats['max'] * 1e3:.3f}",
+            ])
+        return format_table(
+            ["phase", "spans", "mean ms", "median ms", "max ms"],
+            rows,
+            title=f"Trace phase summary ({len(store)} spans recorded)",
+        )
+    chain = store.critical_path(msg_id)
+    rows = []
+    for span in chain[:limit]:
+        duration = "-" if span.end is None else f"{span.duration * 1e3:.3f}"
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(span.attrs.items())
+            if k != "links"
+        )
+        rows.append([
+            span.span_id,
+            span.name,
+            f"{span.begin:.6f}",
+            duration,
+            attrs[:48],
+        ])
+    title = f"Critical path for update trace {msg_id}"
+    if len(chain) > limit:
+        title += f" (first {limit} of {len(chain)} spans)"
+    return format_table(
+        ["span", "name", "begin", "ms", "attrs"], rows, title=title
+    )

@@ -17,13 +17,14 @@ the held ACKs die with it, keeping the remote peer's send buffer intact.
 class QueuedPacket:
     """A packet suspended at a hook, awaiting a user-space verdict."""
 
-    __slots__ = ("packet", "_release", "_decided", "queued_at")
+    __slots__ = ("packet", "_release", "_decided", "queued_at", "span")
 
-    def __init__(self, packet, release, queued_at):
+    def __init__(self, packet, release, queued_at, span=None):
         self.packet = packet
         self._release = release
         self._decided = False
         self.queued_at = queued_at
+        self.span = span  # open "nfq.hold" trace span (None when disabled)
 
     @property
     def decided(self):
@@ -34,6 +35,8 @@ class QueuedPacket:
         if self._decided:
             return
         self._decided = True
+        if self.span is not None:
+            self.span.finish(verdict="accept")
         self._release(self.packet)
 
     def drop(self):
@@ -41,6 +44,8 @@ class QueuedPacket:
         if self._decided:
             return
         self._decided = True
+        if self.span is not None:
+            self.span.finish(verdict="drop")
 
     def __repr__(self):
         state = "decided" if self._decided else "held"
@@ -103,7 +108,19 @@ class NfQueue:
         def delayed_release(released_packet):
             self.engine.schedule(self.verdict_delay, release, released_packet)
 
-        queued = QueuedPacket(packet, delayed_release, queued_at=self.engine.now)
+        span = None
+        tracer = getattr(self.engine, "_trace_hook", None)
+        if tracer is not None:
+            segment = packet.payload
+            span = tracer.begin(
+                "nfq.hold",
+                queue=queue_num,
+                dst=packet.dst,
+                ack=getattr(segment, "ack", None),
+            )
+        queued = QueuedPacket(
+            packet, delayed_release, queued_at=self.engine.now, span=span
+        )
         self.enqueued += 1
         self.engine.schedule(self.queue_delay, consumer, queued)
         return queued

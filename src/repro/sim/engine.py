@@ -31,7 +31,7 @@ class Event:
     for the same instant open a fresh, later slot.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "members")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "members", "ctx")
 
     def __init__(self, time, seq, callback, args):
         self.time = time
@@ -40,6 +40,7 @@ class Event:
         self.args = args
         self.cancelled = False
         self.members = None  # later events chained onto this heap slot
+        self.ctx = None  # ambient trace span captured at schedule time
 
     def cancel(self):
         """Prevent the event from firing.  Safe to call multiple times."""
@@ -71,6 +72,17 @@ class Engine:
         self._running = False
         self._stopped = False
         self._slots = {}  # time -> open (not yet firing) heap Event
+        self._trace_hook = None  # a repro.trace.Tracer when tracing is on
+
+    def set_trace_hook(self, hook):
+        """Install a trace hook (``hook.current`` is the ambient span).
+
+        With a hook installed, :meth:`schedule` captures the ambient span
+        onto each event and the run loop restores it around the callback,
+        so trace causality follows every scheduling hop.  ``None``
+        uninstalls.
+        """
+        self._trace_hook = hook
 
     @property
     def now(self):
@@ -88,6 +100,9 @@ class Engine:
             raise SimulationError(f"delay must be finite (delay={delay})")
         time = self._now + delay
         event = Event(time, next(self._counter), callback, args)
+        hook = self._trace_hook
+        if hook is not None and hook.current is not None:
+            event.ctx = hook.current
         head = self._slots.get(time)
         if head is not None:
             # Same instant already queued: chain onto its slot (O(1)).
@@ -159,7 +174,13 @@ class Engine:
                     del slots[event.time]
                 self._now = event.time
                 if not event.cancelled:
-                    event.callback(*event.args)
+                    hook = self._trace_hook
+                    if hook is not None and event.ctx is not None:
+                        hook.current = event.ctx
+                        event.callback(*event.args)
+                        hook.current = None
+                    else:
+                        event.callback(*event.args)
                     executed += 1
                 members = event.members
                 if members:
@@ -174,7 +195,13 @@ class Engine:
                         index += 1
                         if member.cancelled:
                             continue
-                        member.callback(*member.args)
+                        hook = self._trace_hook
+                        if hook is not None and member.ctx is not None:
+                            hook.current = member.ctx
+                            member.callback(*member.args)
+                            hook.current = None
+                        else:
+                            member.callback(*member.args)
                         executed += 1
         finally:
             self._running = False

@@ -13,6 +13,7 @@ import itertools
 
 from repro.sim.engine import SimulationError
 from repro.sim.network import Packet
+from repro.trace.tracer import tracer_of
 
 
 class DatagramSocket:
@@ -58,15 +59,22 @@ class DatagramSocket:
 
 
 class _RpcFrame:
-    """Wire frame for the RPC layer."""
+    """Wire frame for the RPC layer.
 
-    __slots__ = ("kind", "req_id", "method", "body")
+    ``trace`` carries the caller's trace context — the serializable
+    ``(trace_id, span_id)`` reference of the span ambient at ``call``
+    time — across the process boundary, the way a real RPC layer ships
+    trace ids in request metadata.
+    """
 
-    def __init__(self, kind, req_id, method, body):
+    __slots__ = ("kind", "req_id", "method", "body", "trace")
+
+    def __init__(self, kind, req_id, method, body, trace=None):
         self.kind = kind  # "req" | "rep"
         self.req_id = req_id
         self.method = method
         self.body = body
+        self.trace = trace
 
 
 class RpcServer:
@@ -93,10 +101,22 @@ class RpcServer:
         delay = 0.0
         if self.service_time is not None:
             delay = self.service_time(frame.method, frame.body)
-        self.engine.schedule(delay, self._finish, src_addr, src_port, frame)
+        self.engine.schedule(
+            delay, self._finish, src_addr, src_port, frame, self.engine.now
+        )
 
-    def _finish(self, src_addr, src_port, frame):
-        reply_body = self.handler(frame.method, frame.body)
+    def _finish(self, src_addr, src_port, frame, received_at):
+        tracer = tracer_of(self.engine)
+        if tracer.enabled:
+            span = tracer.begin_from(
+                frame.trace, "rpc.server." + frame.method, port=self.port
+            )
+            span.begin = received_at  # service time counts as server work
+            with tracer.activate(span):
+                reply_body = self.handler(frame.method, frame.body)
+            span.finish()
+        else:
+            reply_body = self.handler(frame.method, frame.body)
         self.requests_served += 1
         reply = _RpcFrame("rep", frame.req_id, frame.method, reply_body)
         self.socket.sendto(src_addr, src_port, reply, size=_body_size(reply_body))
@@ -130,15 +150,34 @@ class AsyncRpcServer:
         delay = 0.0
         if self.service_time is not None:
             delay = self.service_time(frame.method, frame.body)
-        self.engine.schedule(delay, self._dispatch, src_addr, src_port, frame)
+        self.engine.schedule(
+            delay, self._dispatch, src_addr, src_port, frame, self.engine.now
+        )
 
-    def _dispatch(self, src_addr, src_port, frame):
+    def _dispatch(self, src_addr, src_port, frame, received_at):
+        tracer = tracer_of(self.engine)
+        span = None
+        if tracer.enabled:
+            span = tracer.begin_from(
+                frame.trace, "rpc.server." + frame.method, port=self.port
+            )
+            span.begin = received_at
+
         def respond(reply_body):
+            if span is not None:
+                span.finish()
             self.requests_served += 1
             reply = _RpcFrame("rep", frame.req_id, frame.method, reply_body)
             self.socket.sendto(src_addr, src_port, reply, size=_body_size(reply_body))
 
-        self.handler(frame.method, frame.body, respond)
+        if span is not None:
+            # The handler (and any replica round trip it schedules, e.g.
+            # the KV store's synchronous replication) runs under the
+            # propagated context.
+            with tracer.activate(span):
+                self.handler(frame.method, frame.body, respond)
+        else:
+            self.handler(frame.method, frame.body, respond)
 
     def close(self):
         self.socket.close()
@@ -170,9 +209,18 @@ class RpcClient:
     def call(self, method, body, on_reply, on_timeout=None, timeout=1.0):
         """Fire a request.  Exactly one of the callbacks will run."""
         req_id = next(self._req_counter)
-        frame = _RpcFrame("req", req_id, method, body)
+        tracer = tracer_of(self.engine)
+        if tracer.enabled:
+            span = tracer.begin("rpc." + method, server=self.server_addr)
+            frame = _RpcFrame(
+                "req", req_id, method, body,
+                trace=(span.trace_id, span.span_id),
+            )
+        else:
+            frame = _RpcFrame("req", req_id, method, body)
+            span = None
         timer = self.engine.schedule(timeout, self._expire, req_id)
-        self._pending[req_id] = (on_reply, on_timeout, timer)
+        self._pending[req_id] = (on_reply, on_timeout, timer, span)
         self.socket.sendto(
             self.server_addr, self.server_port, frame, size=_body_size(body)
         )
@@ -184,24 +232,30 @@ class RpcClient:
         entry = self._pending.pop(frame.req_id, None)
         if entry is None:
             return  # reply after timeout: drop
-        on_reply, _on_timeout, timer = entry
+        on_reply, _on_timeout, timer, span = entry
         timer.cancel()
         self.replies += 1
+        if span is not None:
+            span.finish(outcome="reply")
         on_reply(frame.body)
 
     def _expire(self, req_id):
         entry = self._pending.pop(req_id, None)
         if entry is None:
             return
-        _on_reply, on_timeout, _timer = entry
+        _on_reply, on_timeout, _timer, span = entry
         self.timeouts += 1
+        if span is not None:
+            span.finish(outcome="timeout")
         if on_timeout is not None:
             on_timeout()
 
     def cancel_all(self):
         """Drop all in-flight requests without firing callbacks."""
-        for _on_reply, _on_timeout, timer in self._pending.values():
+        for _on_reply, _on_timeout, timer, span in self._pending.values():
             timer.cancel()
+            if span is not None:
+                span.finish(outcome="cancelled")
         self._pending.clear()
 
     def close(self):

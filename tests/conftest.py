@@ -53,7 +53,7 @@ def make_tcp_pair(engine, stack_a, stack_b, port=7000, payload=b""):
 
 
 def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
-                         rand=None):
+                         rand=None, tracing=False, shared_vrf=False):
     """A full TensorSystem with one pair and one remote AS, converged.
 
     ``rand`` overrides the :class:`DeterministicRandom` namespace the
@@ -64,12 +64,13 @@ def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
     from repro.workloads.topology import build_remote_peer
     from repro.workloads.updates import RouteGenerator
 
-    system = TensorSystem(seed=seed)
+    system = TensorSystem(seed=seed, tracing=tracing)
     engine = system.engine
     m1 = system.add_machine("gw-1", "10.1.0.1")
     m2 = system.add_machine("gw-2", "10.2.0.1")
+    vrf_of = (lambda i: "v0") if shared_vrf else (lambda i: f"v{i}")
     specs = [
-        PeerNeighborSpec(f"192.0.2.{i + 1}", 64512 + i, vrf_name=f"v{i}", mode="passive")
+        PeerNeighborSpec(f"192.0.2.{i + 1}", 64512 + i, vrf_name=vrf_of(i), mode="passive")
         for i in range(neighbors)
     ]
     pair = system.create_pair(
@@ -87,7 +88,7 @@ def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
         remote = build_remote_peer(
             system, f"remote{i}", f"192.0.2.{i + 1}", 64512 + i, link_machines=[m1, m2]
         )
-        session = remote.peer_with("10.10.0.1", 65001, vrf_name=f"v{i}", mode="active")
+        session = remote.peer_with("10.10.0.1", 65001, vrf_name=vrf_of(i), mode="active")
         remotes.append((remote, session))
     pair.start()
     for remote, _session in remotes:
@@ -96,9 +97,24 @@ def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
     if routes:
         if rand is None:
             rand = DeterministicRandom(seed)
-        gen = RouteGenerator(rand.fork("workload"), 64512, next_hop="192.0.2.1")
-        for remote, session in remotes:
-            remote.speaker.originate_many(session.config.vrf_name, gen.routes(routes))
-            remote.speaker.readvertise(session)
+        if shared_vrf:
+            # Disjoint prefix blocks with per-remote next hops, so each
+            # remote's routes re-propagate to every *other* remote (the
+            # gateway skips peers that are a route's own next hop).
+            for i, (remote, session) in enumerate(remotes):
+                gen = RouteGenerator(
+                    rand.fork(f"workload{i}"), 64512 + i,
+                    next_hop=f"192.0.2.{i + 1}",
+                )
+                remote.speaker.originate_many(
+                    session.config.vrf_name,
+                    gen.routes(routes, base=f"{10 + i}.248.0.0"),
+                )
+                remote.speaker.readvertise(session)
+        else:
+            gen = RouteGenerator(rand.fork("workload"), 64512, next_hop="192.0.2.1")
+            for remote, session in remotes:
+                remote.speaker.originate_many(session.config.vrf_name, gen.routes(routes))
+                remote.speaker.readvertise(session)
         engine.advance(5.0)
     return system, pair, remotes

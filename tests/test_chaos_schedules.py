@@ -17,6 +17,7 @@ import pytest
 
 from repro.failures.chaos import (
     CORPUS_SEEDS,
+    TRACED_CORPUS_SEEDS,
     ChaosSchedule,
     generate_schedule,
     run_schedule,
@@ -86,6 +87,70 @@ def test_corpus_seed_passes_all_oracles(seed):
     schedule = generate_schedule(seed)
     result = run_schedule(schedule)
     assert result.first_violation is None, result.summary()
+
+
+@pytest.mark.parametrize("seed", TRACED_CORPUS_SEEDS)
+def test_traced_corpus_seed_passes_phase_latency_oracle(seed):
+    """Seeds 6-9 run under the causal tracer (DESIGN.md §10): every
+    standard oracle plus ``phase_latency``, which re-derives the
+    delayed-ACK invariant from the recorded spans at each settle
+    point, must stay green through multi-failure schedules."""
+    schedule = generate_schedule(seed)
+    result = run_schedule(schedule, tracing=True)
+    assert result.first_violation is None, result.summary()
+    store = result.system.trace_store
+    assert store is not None and len(store) > 0
+    assert store.delayed_ack_violations() == []
+    # the schedule's hard failures leave migration spans behind, each
+    # linking the failed incarnation to its replacement (same container
+    # for in-place app restarts, the standby for backup activations)
+    for span in store.spans(name="migration", ended=True):
+        if span.attrs["kind"] == "backup_activation":
+            assert span.attrs["from_container"] != span.attrs["to_container"]
+        else:
+            assert span.attrs["from_container"] == span.attrs["to_container"]
+
+
+def test_trace_survives_primary_to_backup_migration():
+    """Regression: a container failure under tracing must leave a
+    ``migration`` span bridging the two process incarnations, with
+    update traces recorded on both sides of the switchover."""
+    from repro.failures import FailureInjector
+    from repro.workloads.updates import RouteGenerator
+
+    from conftest import build_tensor_fixture
+
+    system, pair, remotes = build_tensor_fixture(
+        seed=13, routes=20, tracing=True
+    )
+    engine = system.engine
+    store = system.trace_store
+    before = len(store.update_ids(msg="UpdateMessage"))
+    assert before > 0
+    failed_name = pair.active_container.name
+
+    FailureInjector(system).container_failure(pair=pair)
+    engine.advance(30.0)
+
+    (span,) = store.spans(name="migration", ended=True)
+    assert span.attrs["kind"] == "backup_activation"
+    assert span.attrs["from_container"] == failed_name
+    assert span.attrs["to_container"] == pair.active_container.name
+    assert span.attrs["to_container"] != failed_name
+    assert span.duration > 0.0
+
+    # new traffic after the switchover traces end to end on the new
+    # incarnation, with the delayed-ACK invariant intact throughout
+    remote, session = remotes[0]
+    gen = RouteGenerator(system.rng.fork("post-migration"), 64512,
+                         next_hop="192.0.2.1")
+    remote.speaker.originate_many(session.config.vrf_name, gen.routes(10))
+    remote.speaker.readvertise(session)
+    engine.advance(5.0)
+
+    after = len(store.update_ids(msg="UpdateMessage"))
+    assert after > before
+    assert store.delayed_ack_violations() == []
 
 
 # ----------------------------------------------------------------------
