@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
 SEEDS ?= 25
 
-.PHONY: test bench bench-hotpath bench-gate chaos chaos-corpus chaos-ablation trace-demo verify
+.PHONY: test bench bench-hotpath bench-parallel bench-gate profile parallel-smoke chaos chaos-corpus chaos-ablation trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -15,10 +15,25 @@ bench:
 bench-hotpath:
 	$(PYTHON) -m pytest benchmarks/bench_hotpath.py -q
 
-# Fails (non-zero) when any hot-path metric in a fresh run is >20%
-# slower than the committed BENCH_hotpath.json baseline.
+# The 112-container fleet under the conservative parallel runtime at
+# workers=1/2/4; writes BENCH_parallel.json (determinism + speedup).
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_fleet.py
+
+# Fails (non-zero) when any metric in a fresh run regresses past its
+# suite threshold against the committed BENCH_*.json baselines, or when
+# the parallel suite's determinism/speedup invariants break.
 bench-gate:
 	$(PYTHON) benchmarks/check_bench_regression.py
+
+# cProfile hotspot listing (top-25 cumulative) over the Fig. 6(a)
+# receive path and the parallel fleet workload.
+profile:
+	$(PYTHON) benchmarks/profile_hotspots.py
+
+# Two-site fleet, workers=1 vs workers=2: results must be bit-identical.
+parallel-smoke:
+	$(PYTHON) -m repro.sim.parallel.smoke
 
 # Randomized multi-failure NSR testing (DESIGN.md §9).  On a violation
 # the engine shrinks the schedule and writes chaos_repro_<seed>.py.
@@ -39,5 +54,6 @@ chaos-ablation:
 trace-demo:
 	$(PYTHON) -m repro.trace.demo
 
-# The full gate: tier-1 tests, hot-path perf regression, chaos corpus.
-verify: test bench-gate chaos-corpus
+# The full gate: tier-1 tests, perf regression (hot path + parallel),
+# chaos corpus, and the parallel determinism smoke.
+verify: test bench-gate chaos-corpus parallel-smoke

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Parallel fleet benchmark (``make bench-parallel``).
+
+Runs the 8-site / 112-container fleet workload under the conservative
+parallel runtime at workers = 1, 2 and 4, verifies that every
+configuration produces bit-identical shard results, and writes
+``BENCH_parallel.json`` at the repository root for the regression gate.
+
+Speedup is reported two ways:
+
+- ``measured``: observed wall-clock ratio.  Only meaningful on a host
+  with at least 4 usable cores — on fewer cores the OS serializes the
+  worker processes and multiprocess runs can only be *slower*.
+- ``projected``: the critical-path wall from the *measured* per-window,
+  per-shard compute times (per window, the slowest worker's summed shard
+  busy time; windows add up).  This is what the same partition achieves
+  on sufficient cores, minus IPC; it is computed from real measurements,
+  not a model.
+
+``check_bench_regression.py`` gates on the measured ratio when
+``os.cpu_count() >= 4`` and on the projection otherwise;
+``cpu_count`` is recorded in the JSON so a baseline moved between hosts
+stays interpretable.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_parallel_fleet.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.parallel.runtime import ParallelRunner  # noqa: E402
+from repro.workloads.fleet import fleet_site_specs  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+SITES = 8
+PAIRS = 7          # 8 sites x 7 pairs x 2 containers = 112 containers
+ROUTES = 40
+DURATION = 25.0
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _specs(quick=False):
+    if quick:
+        return fleet_site_specs(4, pairs=2, routes=20, border_routes=10,
+                                churn_ticks=2)
+    return fleet_site_specs(SITES, pairs=PAIRS, routes=ROUTES,
+                            border_routes=20, churn_ticks=3)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small 4-site variant for iterating on the bench")
+    args = parser.parse_args(argv)
+
+    runs = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+        result = ParallelRunner(_specs(args.quick), workers=workers).run(
+            DURATION
+        )
+        runs[workers] = result
+        if reference is None:
+            reference = result
+        containers = sum(
+            r["containers"] for r in result.shard_results.values()
+        )
+        print(
+            f"workers={workers}: wall={result.wall:6.2f}s"
+            f"  windows={result.windows}  events={result.executed}"
+            f"  containers={containers}"
+        )
+
+    determinism_ok = all(
+        runs[w].shard_results == reference.shard_results
+        for w in WORKER_COUNTS
+    )
+    print(f"determinism: {'ok' if determinism_ok else 'FAILED'}"
+          f" (identical shard results across worker counts)")
+
+    # critical-path projection from the sequential run's measured busy
+    # times: same partition, perfect cores, no IPC
+    projected = {
+        w: reference.projected_wall(w) for w in WORKER_COUNTS
+    }
+    measured_speedup = runs[1].wall / runs[4].wall
+    projected_speedup = projected[1] / projected[4]
+    cpu_count = os.cpu_count() or 1
+    print(f"measured  speedup @4 workers: {measured_speedup:.2f}x"
+          f" (host has {cpu_count} cpu core(s))")
+    print(f"projected speedup @4 workers: {projected_speedup:.2f}x"
+          f" (critical path of measured per-shard compute)")
+
+    total_events = reference.executed
+    payload = {
+        "workload": {
+            "sites": SITES if not args.quick else 4,
+            "pairs_per_site": PAIRS if not args.quick else 2,
+            "containers": sum(
+                r["containers"] for r in reference.shard_results.values()
+            ),
+            "duration": DURATION,
+            "windows": reference.windows,
+            "lookahead": reference.lookahead,
+            "events": total_events,
+        },
+        "cpu_count": cpu_count,
+        "results": {
+            "fleet_events_seq": {
+                "ops_per_sec": round(total_events / runs[1].wall, 1),
+            },
+        },
+        "wall": {f"workers_{w}": round(runs[w].wall, 3)
+                 for w in WORKER_COUNTS},
+        "busy": {f"workers_{w}": round(sum(runs[w].busy.values()), 3)
+                 for w in WORKER_COUNTS},
+        "projected_wall": {f"workers_{w}": round(projected[w], 3)
+                           for w in WORKER_COUNTS},
+        "measured_speedup_4w": round(measured_speedup, 2),
+        "projected_speedup_4w": round(projected_speedup, 2),
+        "determinism_ok": determinism_ok,
+    }
+    if not args.quick:
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUT_PATH.name}")
+
+    if not determinism_ok:
+        return 1
+    floor = measured_speedup if cpu_count >= 4 else projected_speedup
+    if floor < 2.0:
+        print(f"speedup floor FAILED: {floor:.2f}x < 2.0x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,42 +1,94 @@
 #!/usr/bin/env python
-"""Hot-path benchmark regression gate (``make bench-gate``).
+"""Benchmark regression gate (``make bench-gate``).
 
-Runs ``benchmarks/bench_hotpath.py`` to produce a fresh
-``BENCH_hotpath.json``, then compares every ops/sec figure against the
-committed baseline: any metric more than ``THRESHOLD`` (20%) slower
-fails with a non-zero exit.  Faster-than-baseline results are reported
-but never fail — commit the regenerated file to ratchet the baseline.
+Runs every registered benchmark suite to regenerate its ``BENCH_*.json``
+at the repo root, then compares each ``results.*.ops_per_sec`` figure
+against the committed baseline: any metric more than the suite's
+threshold slower fails with a non-zero exit.  Faster-than-baseline
+results are reported but never fail — commit the regenerated files to
+ratchet the baselines.  Suites may also register a validator for
+non-throughput invariants (the parallel suite checks determinism and
+the speedup floor).
 
 Usage:
-    python benchmarks/check_bench_regression.py [--baseline PATH] [--skip-run]
+    python benchmarks/check_bench_regression.py [--suite NAME]
+        [--baseline PATH] [--skip-run]
 
-``--skip-run`` compares an already-generated BENCH_hotpath.json instead
-of re-running the benchmarks (useful when iterating on the gate itself).
+``--skip-run`` compares already-generated JSON instead of re-running
+the benchmarks (useful when iterating on the gate itself).
+``--baseline`` overrides the committed baseline (single suite only).
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULTS_PATH = REPO_ROOT / "BENCH_hotpath.json"
-THRESHOLD = 0.20  # fail when fresh ops/sec < (1 - THRESHOLD) * baseline
 
 
-def run_benchmarks():
-    command = [
-        sys.executable, "-m", "pytest",
-        str(REPO_ROOT / "benchmarks" / "bench_hotpath.py"),
-        "-q", "--benchmark-disable-gc",
-    ]
-    completed = subprocess.run(command, cwd=REPO_ROOT)
+def _validate_parallel(fresh):
+    """Parallel-suite invariants beyond raw throughput.
+
+    Determinism must hold outright.  The >= 2x speedup floor applies to
+    the *measured* wall ratio on hosts with at least 4 cores; on smaller
+    hosts the OS serializes the workers, so the floor applies to the
+    critical-path projection computed from measured per-shard compute
+    (see bench_parallel_fleet.py).  ``cpu_count`` in the JSON records
+    which regime produced a committed baseline.
+    """
+    failures = []
+    if not fresh.get("determinism_ok", False):
+        failures.append("determinism_ok is false: workers=1 vs workers=N "
+                        "shard results diverged")
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = fresh.get("measured_speedup_4w", 0.0)
+        label = "measured"
+    else:
+        speedup = fresh.get("projected_speedup_4w", 0.0)
+        label = f"projected (host has {cores} core(s))"
+    if speedup < 2.0:
+        failures.append(
+            f"parallel speedup floor: {speedup:.2f}x {label} < 2.0x"
+        )
+    else:
+        print(f"  speedup floor: {speedup:.2f}x {label}  ok")
+    return failures
+
+
+SUITES = {
+    "hotpath": {
+        "json": "BENCH_hotpath.json",
+        "run": [sys.executable, "-m", "pytest",
+                str(REPO_ROOT / "benchmarks" / "bench_hotpath.py"),
+                "-q", "--benchmark-disable-gc"],
+        "threshold": 0.20,
+        "validate": None,
+    },
+    "parallel": {
+        "json": "BENCH_parallel.json",
+        "run": [sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_parallel_fleet.py")],
+        "threshold": 0.30,  # wall-clock of a 13s run is noisier than µ-benches
+        "validate": _validate_parallel,
+    },
+}
+
+
+def run_suite(suite):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    completed = subprocess.run(suite["run"], cwd=REPO_ROOT, env=env)
     if completed.returncode != 0:
         sys.exit("bench-gate: benchmark run failed")
 
 
-def compare(baseline, fresh):
+def compare(baseline, fresh, threshold):
     failures = []
     for name, entry in sorted(baseline["results"].items()):
         base_ops = entry["ops_per_sec"]
@@ -47,7 +99,7 @@ def compare(baseline, fresh):
         fresh_ops = fresh_entry["ops_per_sec"]
         ratio = fresh_ops / base_ops if base_ops else float("inf")
         status = "ok"
-        if ratio < 1.0 - THRESHOLD:
+        if ratio < 1.0 - threshold:
             status = "REGRESSION"
             failures.append(
                 f"{name}: {fresh_ops:,.0f} ops/s vs baseline "
@@ -57,35 +109,60 @@ def compare(baseline, fresh):
     return failures
 
 
+def committed_baseline(json_name):
+    # The working-tree file is about to be overwritten by the fresh
+    # run, so the committed copy is the baseline of record.
+    show = subprocess.run(
+        ["git", "show", f"HEAD:{json_name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if show.returncode != 0:
+        return None
+    return json.loads(show.stdout)
+
+
+def check_suite(name, suite, skip_run, baseline_override):
+    results_path = REPO_ROOT / suite["json"]
+    if baseline_override is not None:
+        baseline = json.loads(baseline_override.read_text())
+    else:
+        baseline = committed_baseline(suite["json"])
+        if baseline is None:
+            sys.exit(f"bench-gate: no committed {suite['json']} baseline "
+                     "(pass --baseline PATH)")
+    if not skip_run:
+        run_suite(suite)
+    fresh = json.loads(results_path.read_text())
+
+    print(f"bench-gate[{name}]: threshold {suite['threshold']:.0%} against "
+          f"{baseline_override or 'committed baseline'}")
+    failures = compare(baseline, fresh, suite["threshold"])
+    if suite["validate"] is not None:
+        failures.extend(suite["validate"](fresh))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES) + ["all"],
+                        default="all", help="which suite(s) to gate")
     parser.add_argument("--baseline", type=Path, default=None,
-                        help="baseline JSON (default: committed BENCH_hotpath.json)")
+                        help="baseline JSON override (single suite only)")
     parser.add_argument("--skip-run", action="store_true",
-                        help="compare the existing BENCH_hotpath.json without re-running")
+                        help="compare existing JSON without re-running")
     args = parser.parse_args()
 
-    if args.baseline is not None:
-        baseline = json.loads(args.baseline.read_text())
-    else:
-        # The working-tree file is about to be overwritten by the fresh
-        # run, so the committed copy is the baseline of record.
-        show = subprocess.run(
-            ["git", "show", f"HEAD:{RESULTS_PATH.name}"],
-            cwd=REPO_ROOT, capture_output=True, text=True,
+    names = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.baseline is not None and len(names) != 1:
+        sys.exit("bench-gate: --baseline requires --suite NAME")
+
+    failures = []
+    for name in names:
+        failures.extend(
+            f"[{name}] {line}"
+            for line in check_suite(name, SUITES[name], args.skip_run,
+                                    args.baseline)
         )
-        if show.returncode != 0:
-            sys.exit("bench-gate: no committed BENCH_hotpath.json baseline "
-                     "(pass --baseline PATH)")
-        baseline = json.loads(show.stdout)
-
-    if not args.skip_run:
-        run_benchmarks()
-    fresh = json.loads(RESULTS_PATH.read_text())
-
-    print(f"bench-gate: threshold {THRESHOLD:.0%} against "
-          f"{args.baseline or 'committed baseline'}")
-    failures = compare(baseline, fresh)
     if failures:
         print("bench-gate: FAILED")
         for line in failures:

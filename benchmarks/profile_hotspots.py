@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Hotspot profiler (``make profile``).
+
+Profiles the two workloads that dominate wall-clock in this repository
+and prints the top-25 cumulative-time functions for each:
+
+1. the Fig. 6(a) receive path — a TENSOR gateway receiving and applying
+   a 20K-update burst (codec, RIB reselect, replication pipeline);
+2. the parallel fleet workload at workers=1 — the windowed runner over
+   a 4-site fleet (engine dispatch, BFD/supervision cadence, boundary
+   export/merge).
+
+Deterministic workloads, so two profiles of the same tree are directly
+comparable; use this to aim optimization work before touching code.
+
+Usage:
+    PYTHONPATH=src python benchmarks/profile_hotspots.py [--top N]
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+sys.path.insert(0, str(HERE))
+
+TOP_DEFAULT = 25
+
+
+def profile_receive_path():
+    from conftest import DaemonLab
+
+    lab = DaemonLab("tensor")
+    lab.receive_time(20_000)
+
+
+def profile_parallel_fleet():
+    from repro.sim.parallel.runtime import ParallelRunner
+    from repro.workloads.fleet import fleet_site_specs
+
+    specs = fleet_site_specs(4, pairs=2, routes=20, border_routes=10,
+                             churn_ticks=2)
+    ParallelRunner(specs, workers=1).run(25.0)
+
+
+WORKLOADS = (
+    ("fig6a receive path (TENSOR, 20K updates)", profile_receive_path),
+    ("parallel fleet (4 sites, workers=1)", profile_parallel_fleet),
+)
+
+
+def run_profile(title, workload, top):
+    print(f"\n=== {title}: top {top} by cumulative time ===")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--top", type=int, default=TOP_DEFAULT,
+                        help=f"rows per workload (default {TOP_DEFAULT})")
+    args = parser.parse_args(argv)
+    for title, workload in WORKLOADS:
+        run_profile(title, workload, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

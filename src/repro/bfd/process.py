@@ -108,7 +108,7 @@ class BfdRelay:
         self.host = host
         self.port = port
         self.rng = rng
-        self.socket = DatagramSocket(host, _relay_port(), protocol="udp")
+        self.socket = DatagramSocket(host, _relay_port(engine), protocol="udp")
         self.specs = list(specs)
         self._timers = []
         self.running = False
@@ -163,11 +163,8 @@ class BfdRelay:
         self._timers.clear()
 
 
-_relay_port_counter = [40000]
-
-
-def _relay_port(base=34784):
+def _relay_port(engine, base=34784):
     """Relays source packets from distinct local ports (they never need
-    replies; the spoofed source address is the point)."""
-    _relay_port_counter[0] += 1
-    return base + (_relay_port_counter[0] % 20000)
+    replies; the spoofed source address is the point).  Engine-scoped so
+    co-hosted simulations never share allocation state."""
+    return base + ((40001 + engine.next_id("bfd.relay_port")) % 20000)

@@ -1,12 +1,8 @@
 """One BFD session (asynchronous mode state machine)."""
 
-import itertools
-
 from repro.bfd.packet import BfdPacket, BfdState
 from repro.sim.calibration import BFD_DETECT_MULT, BFD_TX_INTERVAL
 from repro.sim.process import Timer
-
-_disc_counter = itertools.count(1)
 
 
 class BfdSession:
@@ -45,7 +41,12 @@ class BfdSession:
         # discriminators and resume in UP, or the remote would see a
         # session bounce — the transparency NSR requires.
         self.state = BfdState(initial_state)
-        self.my_disc = my_disc if my_disc is not None else next(_disc_counter)
+        # Discriminators are engine-scoped (unique within one simulated
+        # deployment) rather than process-global, so a simulation's wire
+        # state never depends on what else shares its OS process.
+        self.my_disc = (
+            my_disc if my_disc is not None else engine.next_id("bfd.disc", 1)
+        )
         self.your_disc = your_disc
         self.remote_min_rx = tx_interval
 

@@ -5,14 +5,11 @@ host machines, and the agent server.  The gRPC channels will send gRPC
 heartbeats for health monitoring." (§3.3.2)
 """
 
-import itertools
-
 from repro.sim.calibration import GRPC_HEARTBEAT_INTERVAL, GRPC_HEARTBEAT_TIMEOUT
 from repro.sim.process import Process
 from repro.sim.rpc import RpcClient, RpcServer
 
 GRPC_PORT_BASE = 50051
-_port_counter = itertools.count(0)
 
 
 class HealthServer:
@@ -118,6 +115,11 @@ class GrpcChannel:
         return f"<GrpcChannel to {self.target_name} {state}>"
 
 
-def next_grpc_port():
-    """Distinct port per health server co-hosted on one endpoint."""
-    return GRPC_PORT_BASE + next(_port_counter) % 1000
+def next_grpc_port(engine):
+    """Distinct port per health server co-hosted on one endpoint.
+
+    Engine-scoped so that allocations in one simulation are independent
+    of any other simulation sharing the process (parallel-runtime
+    determinism across worker placements).
+    """
+    return GRPC_PORT_BASE + engine.next_id("grpc.port") % 1000

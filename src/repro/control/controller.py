@@ -53,7 +53,7 @@ class Controller:
     def register_machine(self, machine, health_port=None):
         """Track a machine: gRPC channel + its Docker-monitor events."""
         self.machines[machine.name] = machine
-        port = health_port if health_port is not None else next_grpc_port()
+        port = health_port if health_port is not None else next_grpc_port(self.engine)
         HealthServer(
             self.engine,
             machine.host,
@@ -80,7 +80,7 @@ class Controller:
         """gRPC channel to one container's management endpoint."""
         if container.endpoint is None:
             raise RuntimeError(f"container {container.name} has no endpoint (not booted)")
-        port = next_grpc_port()
+        port = next_grpc_port(self.engine)
         HealthServer(
             self.engine,
             container.endpoint,

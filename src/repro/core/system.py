@@ -182,6 +182,46 @@ class TensorSystem:
     def run(self, duration):
         self.engine.advance(duration)
 
+    def rib_digest(self):
+        """Canonical, picklable snapshot of every pair's Loc-RIBs.
+
+        ``{(pair, vrf): ((prefix, peer_id, source_kind, attrs_wire), ...)}``
+        built from :meth:`LocRib.export_entries`, attributes in wire form —
+        two runs of the same scenario are equivalent iff their digests are
+        equal, which is the comparison the parallel runtime's bit-identical
+        guarantee is checked against (workers=1 vs workers=N).
+        """
+        digest = {}
+        for pair_name in sorted(self.pairs):
+            speaker = self.pairs[pair_name].speaker
+            if speaker is None:
+                continue
+            for vrf_name in sorted(speaker.vrfs):
+                entries = speaker.vrfs[vrf_name].loc_rib.export_entries()
+                digest[(pair_name, vrf_name)] = tuple(
+                    (
+                        entry["prefix"],
+                        str(entry["peer_id"]),
+                        entry["source_kind"],
+                        bytes(entry["attributes"]),
+                    )
+                    for entry in entries
+                )
+        return digest
+
+
+def partition_fleet(cells, shards, weight=None):
+    """Split fleet cells (site descriptors, pair specs, ...) into ``shards``
+    balanced groups for the parallel runtime.
+
+    Thin delegation to :func:`repro.sim.parallel.partition.partition_items`
+    so topology-level code has a partitioner without importing the runtime
+    package directly; same determinism guarantees.
+    """
+    from repro.sim.parallel.partition import partition_items
+
+    return partition_items(cells, shards, weight=weight)
+
 
 class TensorPair:
     """One primary/backup container pair (one BGP process, one BFD)."""

@@ -328,6 +328,95 @@ def _build_system(schedule, hold_acks, tracing=False):
     return system, pair, remotes
 
 
+class _PreparedRun:
+    """A built, converged, armed chaos run that has not advanced yet.
+
+    Splits :func:`run_schedule` into *prepare* (build the system, preload
+    routes, arm the oracles, schedule every injection and workload burst)
+    and *advance* (:meth:`step_to`), so a schedule can be driven either
+    in one shot (:func:`run_schedule`) or window-by-window as a closed
+    shard under the parallel runtime (:func:`build_chaos_shard`) — the
+    two drivers execute the identical event sequence.
+    """
+
+    def __init__(self, schedule, hold_acks=True, stop_on_violation=True,
+                 tracing=False):
+        self.schedule = schedule
+        rand = DeterministicRandom(schedule.seed)
+        self.system, self.pair, self.remotes = _build_system(
+            schedule, hold_acks, tracing
+        )
+        engine = self.system.engine
+        self.suite = OracleSuite(
+            self.system, self.pair, self.remotes,
+            stop_on_violation=stop_on_violation,
+        )
+        self.driver = _WorkloadDriver(self.remotes, self.suite, rand)
+
+        if schedule.initial_routes:
+            for index, (remote, session) in enumerate(self.remotes):
+                gen = self.driver.gens[index]
+                routes = gen.routes(
+                    schedule.initial_routes, base=f"{10 + index}.248.0.0"
+                )
+                remote.speaker.originate_many(
+                    session.config.vrf_name, routes
+                )
+                remote.speaker.readvertise(session)
+                self.suite.live[index].update(
+                    {str(p): True for p, _a in routes}
+                )
+            engine.advance(5.0)
+        self.suite.arm()
+
+        self.injector = FailureInjector(self.system)
+        for event in schedule.injections:
+            engine.schedule(
+                event["at"], _fire_injection,
+                self.injector, self.system, self.pair, self.suite, event,
+            )
+        for event in schedule.workload:
+            engine.schedule(event["at"], self.driver.fire, event)
+
+        self.deadline = engine.now + schedule.duration
+        self.executed = 0
+        # run() resets the engine's stop flag on entry, so a violation
+        # halt must stick across windows here, not in the engine
+        self.halted = False
+        self._finished = False
+
+    @property
+    def engine(self):
+        return self.system.engine
+
+    def step_to(self, until):
+        """Advance to ``min(until, deadline)`` under continuous oracles.
+
+        Returns events executed.  Once an oracle stops the run (or the
+        deadline passes) further steps are no-ops.
+        """
+        engine = self.system.engine
+        target = min(until, self.deadline)
+        if self.halted or target <= engine.now:
+            return 0
+        executed = engine.run_stepped(
+            target, self.suite.check, quantum=CHECK_QUANTUM
+        )
+        self.executed += executed
+        if self.suite.stop_on_violation and self.suite.first_violation is not None:
+            self.halted = True
+        return executed
+
+    def finish(self):
+        """Post-run bookkeeping; idempotent.  Returns the ChaosResult."""
+        if not self._finished:
+            self._finished = True
+            _check_record_bookkeeping(self.injector, self.suite)
+        return ChaosResult(
+            self.schedule, self.suite, self.system, self.executed
+        )
+
+
 def run_schedule(schedule, hold_acks=True, stop_on_violation=True,
                  tracing=False):
     """Replay ``schedule`` under continuous oracles.
@@ -337,41 +426,12 @@ def run_schedule(schedule, hold_acks=True, stop_on_violation=True,
     ``tracing`` the system runs under a :class:`repro.trace.Tracer`
     and the suite additionally enforces the phase-latency oracle.
     """
-    rand = DeterministicRandom(schedule.seed)
-    system, pair, remotes = _build_system(schedule, hold_acks, tracing)
-    engine = system.engine
-    suite = OracleSuite(
-        system, pair, remotes, stop_on_violation=stop_on_violation
+    prepared = _PreparedRun(
+        schedule, hold_acks=hold_acks,
+        stop_on_violation=stop_on_violation, tracing=tracing,
     )
-    driver = _WorkloadDriver(remotes, suite, rand)
-
-    if schedule.initial_routes:
-        for index, (remote, session) in enumerate(remotes):
-            gen = driver.gens[index]
-            routes = gen.routes(
-                schedule.initial_routes, base=f"{10 + index}.248.0.0"
-            )
-            remote.speaker.originate_many(
-                session.config.vrf_name, routes
-            )
-            remote.speaker.readvertise(session)
-            suite.live[index].update({str(p): True for p, _a in routes})
-        engine.advance(5.0)
-    suite.arm()
-
-    injector = FailureInjector(system)
-    for event in schedule.injections:
-        engine.schedule(
-            event["at"], _fire_injection, injector, system, pair, suite, event
-        )
-    for event in schedule.workload:
-        engine.schedule(event["at"], driver.fire, event)
-
-    executed = engine.run_stepped(
-        engine.now + schedule.duration, suite.check, quantum=CHECK_QUANTUM
-    )
-    _check_record_bookkeeping(injector, suite)
-    return ChaosResult(schedule, suite, system, executed)
+    prepared.step_to(prepared.deadline)
+    return prepared.finish()
 
 
 def _fire_injection(injector, system, pair, suite, event):
@@ -421,6 +481,84 @@ def _check_record_bookkeeping(injector, suite):
                 injector.engine.now, "record_bookkeeping",
                 f"record {record!r} stamped after its own detection",
             ))
+
+
+# ----------------------------------------------------------------------
+# chaos schedules as parallel-runtime shards
+# ----------------------------------------------------------------------
+
+class ChaosShardProgram:
+    """One chaos seed as a *closed* shard (no cross-shard links).
+
+    A closed shard free-runs to the horizon in a single window, so the
+    execution is literally the single-process :func:`run_schedule` — the
+    parallel runtime only distributes the seeds across workers.
+    """
+
+    def __init__(self, shard_id, params, boundary):
+        schedule_data = params.get("schedule")
+        schedule = (
+            ChaosSchedule.from_dict(schedule_data)
+            if schedule_data is not None
+            else generate_schedule(params["seed"])
+        )
+        self.prepared = _PreparedRun(
+            schedule,
+            hold_acks=params.get("hold_acks", True),
+            stop_on_violation=params.get("stop_on_violation", True),
+            tracing=params.get("tracing", False),
+        )
+        self.engine = self.prepared.system.engine
+        self._result = None
+
+    def run_window(self, until):
+        return self.prepared.step_to(until)
+
+    def finalize(self):
+        self._result = self.prepared.finish()
+
+    def results(self):
+        result = self._result or self.prepared.finish()
+        suite = result.suite
+        out = {
+            "seed": result.schedule.seed,
+            "verdict": suite.summary(),
+            "violations": tuple(
+                (v.time, v.oracle, v.detail) for v in suite.violations
+            ),
+            "rib": result.system.rib_digest(),
+            "executed": result.events_executed,
+        }
+        store = result.system.trace_store
+        if store is not None:
+            out["phase_summary"] = store.phase_summary()
+        return out
+
+
+def build_chaos_shard(shard_id, params, boundary):
+    """Spawn-safe builder (``repro.failures.chaos:build_chaos_shard``)."""
+    return ChaosShardProgram(shard_id, params, boundary)
+
+
+def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False):
+    """ShardSpecs running one chaos seed per shard (all closed shards)."""
+    from repro.sim.parallel.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            f"chaos{seed}",
+            "repro.failures.chaos:build_chaos_shard",
+            params={"seed": seed, "hold_acks": hold_acks, "tracing": tracing},
+        )
+        for seed in seeds
+    ]
+
+
+def chaos_corpus_horizon(seeds=CORPUS_SEEDS):
+    """A run duration covering every seed's deadline under the parallel
+    runner's shared clock (schedule generation is pure, so this is
+    cheap and exact)."""
+    return max(generate_schedule(seed).duration for seed in seeds) + 1.0
 
 
 # ----------------------------------------------------------------------

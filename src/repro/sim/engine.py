@@ -73,6 +73,22 @@ class Engine:
         self._stopped = False
         self._slots = {}  # time -> open (not yet firing) heap Event
         self._trace_hook = None  # a repro.trace.Tracer when tracing is on
+        self._named_counters = {}  # name -> itertools.count (see next_id)
+
+    def next_id(self, name, start=0):
+        """Next value of the named monotonic counter scoped to *this* engine.
+
+        Protocol layers (TCP ISNs, BFD discriminators, ephemeral ports)
+        need unique-per-simulation identifiers.  Module-level counters
+        would leak allocation state between simulations co-hosted in one
+        OS process, making a shard's identifiers depend on which other
+        shards share its worker — engine-scoped counters keep every
+        simulation bit-identical regardless of process placement.
+        """
+        counter = self._named_counters.get(name)
+        if counter is None:
+            counter = self._named_counters[name] = itertools.count(start)
+        return next(counter)
 
     def set_trace_hook(self, hook):
         """Install a trace hook (``hook.current`` is the ambient span).
@@ -217,6 +233,41 @@ class Engine:
         heapq.heappush(self._queue, head)
         if head.time not in self._slots:
             self._slots[head.time] = head
+
+    def inject(self, when, callback, *args):
+        """Schedule ``callback(*args)`` from *outside* the simulation at
+        absolute virtual time ``when``.
+
+        The entry point the parallel runtime uses to merge cross-shard
+        frames between conservative windows: injections happen at window
+        barriers, in the deterministic merge order ``(time, shard, seq)``,
+        and their engine sequence numbers are assigned in injection order
+        — so the interleaving with locally scheduled events is a pure
+        function of the merge, not of worker placement.  ``when`` must
+        not lie in the past (the lookahead bound guarantees this for
+        conservative synchronization).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"inject into the past (when={when} < now={self._now})"
+            )
+        return self.schedule(when - self._now, callback, *args)
+
+    def run_window(self, until):
+        """Run one conservative window: fire every event with
+        ``time <= until`` and land the clock exactly on ``until``.
+
+        Identical to ``run(until=until)`` except that a backwards window
+        is rejected rather than silently ignored — the parallel runtime
+        calls this repeatedly with monotonically increasing barriers and
+        relies on every shard's clock sitting exactly on the barrier
+        when the window returns.  Returns the number of events executed.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"window ends in the past (until={until} < now={self._now})"
+            )
+        return self.run(until=until)
 
     def run_until_idle(self, max_events=10_000_000):
         """Run until no events remain.  Guards against runaway loops."""

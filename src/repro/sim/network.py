@@ -109,6 +109,14 @@ class Host:
         self.rx_packets = 0
         self.tx_packets = 0
         self.dropped_unbound = 0
+        # Shard-boundary adapter hook: when set (by
+        # repro.sim.parallel.boundary), this host is a *stub* for an
+        # endpoint living in another shard, and packets routed to it are
+        # exported as ``boundary_export(packet, arrival_time)`` instead
+        # of being delivered locally.  The path delay (link latency +
+        # serialization + queueing) is still computed here, in the
+        # sending shard, so bandwidth modelling stays deterministic.
+        self.boundary_export = None
 
     # -- port table ---------------------------------------------------------
 
@@ -264,7 +272,11 @@ class Network:
             if delay is None:
                 delivered = False
         if delivered:
-            self.engine.schedule(delay, dst_host.deliver, packet)
+            export = dst_host.boundary_export
+            if export is not None:
+                export(packet, self.engine.now + delay)
+            else:
+                self.engine.schedule(delay, dst_host.deliver, packet)
         else:
             self.packets_dropped += 1
         for tap in self.taps:

@@ -1,0 +1,21 @@
+"""Conservative parallel simulation runtime (sharded multi-process execution).
+
+See :mod:`repro.sim.parallel.runtime` for the execution model and the
+scenario-builder contract, and :mod:`repro.sim.parallel.boundary` for how
+packets cross shard boundaries.
+"""
+
+from repro.sim.parallel.boundary import BoundaryLink, CrossShardFrame, ShardBoundary
+from repro.sim.parallel.partition import assign_shards, partition_items
+from repro.sim.parallel.runtime import ParallelResult, ParallelRunner, ShardSpec
+
+__all__ = [
+    "BoundaryLink",
+    "CrossShardFrame",
+    "ShardBoundary",
+    "ParallelResult",
+    "ParallelRunner",
+    "ShardSpec",
+    "assign_shards",
+    "partition_items",
+]

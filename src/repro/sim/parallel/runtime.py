@@ -1,0 +1,402 @@
+"""Conservative parallel simulation runtime (Chandy–Misra-style windows).
+
+The runtime executes a set of *shards* — independent simulation
+universes declared by :class:`ShardSpec` — either sequentially in the
+calling process (``workers=1``) or spread over OS worker processes
+(``workers=N``, spawn-safe).  Shards interact only through declared
+:class:`~repro.sim.parallel.boundary.BoundaryLink` edges, and execution
+proceeds in global lookahead windows:
+
+    lookahead L = min cross-shard link latency
+    window k   = virtual time (t0 + k*L, t0 + (k+1)*L]
+
+Any frame sent during window k arrives no earlier than its send instant
+plus L, i.e. strictly after the window's end — so exchanging mailboxes
+only at window barriers never delivers a frame into a shard's past.
+Inbound frames are merged with the deterministic order
+``(arrival_time, src_shard, seq)`` before the next window runs, which
+makes every shard's event sequence a pure function of the scenario and
+seed: ``workers=1`` and ``workers=N`` produce bit-identical shard
+states.  A shard with no links (a *closed* shard) free-runs to the
+horizon in a single window, which is exactly the unsharded execution —
+the single-process code path is unchanged and remains the default.
+
+Scenario contract
+-----------------
+``ShardSpec.builder`` names a spawn-safe factory (top-level function or
+``"module:function"`` string)::
+
+    def build(shard_id, params, boundary):
+        ... create Engine/Network/topology ...
+        boundary.attach(network)      # once local endpoints exist
+        return program
+
+The returned *program* must expose ``engine`` and ``results()``
+(picklable), and may override ``run_window(until)`` (default: the
+engine's) — e.g. to interleave oracle checks — plus an optional
+``finalize()`` hook that runs after the horizon.  Builders of shards
+*with* cross-shard links must not send cross-shard traffic while
+building (do timed setup via scheduled events); closed shards may
+advance freely during build (e.g. to converge a topology).
+"""
+
+import importlib
+import multiprocessing
+import time
+import traceback
+
+from repro.sim.engine import SimulationError
+from repro.sim.parallel.boundary import ShardBoundary
+from repro.sim.parallel.partition import assign_shards
+
+
+class ShardSpec:
+    """Picklable description of one shard."""
+
+    def __init__(self, shard_id, builder, params=None, links=(), weight=1.0):
+        self.shard_id = shard_id
+        self.builder = builder
+        self.params = dict(params or {})
+        self.links = tuple(links)
+        self.weight = weight
+
+    def __repr__(self):
+        return (
+            f"<ShardSpec {self.shard_id!r} links={len(self.links)}"
+            f" weight={self.weight}>"
+        )
+
+
+def _resolve_builder(builder):
+    if callable(builder):
+        return builder
+    module_name, _, attr = builder.partition(":")
+    if not attr:
+        raise SimulationError(
+            f"builder {builder!r} must be callable or 'module:function'"
+        )
+    return getattr(importlib.import_module(module_name), attr)
+
+
+class _ShardHost:
+    """One built shard living inside a worker (or the local process)."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.boundary = ShardBoundary(spec.shard_id, spec.links)
+        self.program = _resolve_builder(spec.builder)(
+            spec.shard_id, spec.params, self.boundary
+        )
+        self.engine = self.program.engine
+        if self.spec.links and self.boundary.network is None:
+            raise SimulationError(
+                f"shard {spec.shard_id!r} declares links but its builder"
+                " never called boundary.attach(network)"
+            )
+        self._run_window = getattr(self.program, "run_window", None)
+        self.busy = 0.0
+        self.executed = 0
+
+    def run_window(self, until, inbound):
+        start = time.perf_counter()
+        if inbound:
+            self.boundary.inject(self.engine, inbound)
+        if self._run_window is not None:
+            executed = self._run_window(until)
+        else:
+            executed = self.engine.run_window(until)
+        executed = executed or 0
+        self.executed += executed
+        elapsed = time.perf_counter() - start
+        self.busy += elapsed
+        return self.boundary.drain(), elapsed, executed
+
+    def finalize(self):
+        hook = getattr(self.program, "finalize", None)
+        if hook is not None:
+            hook()
+
+    def results(self):
+        return self.program.results()
+
+
+def _build_shards(specs):
+    return {spec.shard_id: _ShardHost(spec) for spec in specs}
+
+
+# ----------------------------------------------------------------------
+# worker protocol (shared by the in-process and spawned executors)
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, specs):
+    """Entry point of a spawned worker: build shards, serve windows."""
+    try:
+        shards = _build_shards(specs)
+        conn.send(("ready", {sid: host.engine.now for sid, host in shards.items()}))
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "run":
+                _kind, w_end, inbound = message
+                outbound = {}
+                busy = {}
+                executed = 0
+                for sid in sorted(shards):
+                    exports, elapsed, fired = shards[sid].run_window(
+                        w_end, inbound.get(sid, ())
+                    )
+                    busy[sid] = elapsed
+                    executed += fired
+                    for dst, frames in exports.items():
+                        outbound.setdefault(dst, []).extend(frames)
+                conn.send(("ran", outbound, busy, executed))
+            elif kind == "finish":
+                for sid in sorted(shards):
+                    shards[sid].finalize()
+                conn.send(
+                    ("results", {sid: shards[sid].results() for sid in shards})
+                )
+            elif kind == "stop":
+                return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _LocalWorker:
+    """The workers=1 executor: same protocol, direct calls, no pickling."""
+
+    def __init__(self, specs):
+        self.specs = specs
+        self.shards = _build_shards(specs)
+
+    def ready(self):
+        return {sid: host.engine.now for sid, host in self.shards.items()}
+
+    def run(self, w_end, inbound):
+        outbound = {}
+        busy = {}
+        executed = 0
+        for sid in sorted(self.shards):
+            exports, elapsed, fired = self.shards[sid].run_window(
+                w_end, inbound.get(sid, ())
+            )
+            busy[sid] = elapsed
+            executed += fired
+            for dst, frames in exports.items():
+                outbound.setdefault(dst, []).extend(frames)
+        return outbound, busy, executed
+
+    def finish(self):
+        for sid in sorted(self.shards):
+            self.shards[sid].finalize()
+        return {sid: self.shards[sid].results() for sid in self.shards}
+
+    def close(self):
+        pass
+
+
+class _ProcessWorker:
+    """A spawned OS worker owning a subset of the shards."""
+
+    def __init__(self, specs, context):
+        self.specs = specs
+        self.conn, child = multiprocessing.Pipe()
+        self.process = context.Process(
+            target=_worker_main, args=(child, specs), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self, expect):
+        message = self.conn.recv()
+        if message[0] == "error":
+            raise RuntimeError(
+                f"parallel worker failed:\n{message[1]}"
+            )
+        if message[0] != expect:
+            raise RuntimeError(
+                f"parallel worker protocol error: got {message[0]!r},"
+                f" expected {expect!r}"
+            )
+        return message[1:]
+
+    def ready(self):
+        (nows,) = self._recv("ready")
+        return nows
+
+    def send_run(self, w_end, inbound):
+        self.conn.send(("run", w_end, inbound))
+
+    def recv_run(self):
+        return self._recv("ran")
+
+    def send_finish(self):
+        self.conn.send(("finish",))
+
+    def recv_finish(self):
+        (results,) = self._recv("results")
+        return results
+
+    def close(self):
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10)
+        self.conn.close()
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+class ParallelResult:
+    """Outcome of one parallel (or sequential-sharded) run."""
+
+    def __init__(self, specs, workers, lookahead, shard_results, windows,
+                 window_busy, busy, executed, wall):
+        self.specs = specs
+        self.workers = workers
+        self.lookahead = lookahead
+        self.shard_results = shard_results
+        self.windows = windows
+        self.window_busy = window_busy  # [{shard_id: seconds}] per window
+        self.busy = busy  # shard_id -> total seconds of compute
+        self.executed = executed
+        self.wall = wall
+
+    def projected_wall(self, workers):
+        """Ideal wall-clock for ``workers`` perfectly parallel workers.
+
+        Per window, a worker's cost is the sum of its shards' measured
+        compute; the window costs the slowest worker; barriers sum.
+        Ignores IPC and OS scheduling — an upper bound on achievable
+        speedup for this partition, computed from *measured* per-shard
+        busy time, used by the benchmark gate on hosts whose core count
+        cannot realize the parallelism physically.
+        """
+        assignments = assign_shards(self.specs, workers)
+        total = 0.0
+        for window in self.window_busy:
+            total += max(
+                sum(window.get(spec.shard_id, 0.0) for spec in group)
+                for group in assignments
+            )
+        return total
+
+
+class ParallelRunner:
+    """Partition, synchronize, and execute a set of shards.
+
+    ``workers=1`` runs every shard in the calling process (the reference
+    execution); ``workers=N`` spawns ``min(N, len(specs))`` OS processes
+    via the spawn-safe multiprocessing context and distributes shards
+    with LPT weight balancing.  Either way the windowed barrier protocol
+    is identical, so per-shard results are bit-identical across worker
+    counts.
+    """
+
+    def __init__(self, specs, workers=1, start_method="spawn"):
+        specs = list(specs)
+        if not specs:
+            raise SimulationError("no shards to run")
+        ids = [spec.shard_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate shard ids: {sorted(ids)}")
+        known = set(ids)
+        latencies = []
+        for spec in specs:
+            for link in spec.links:
+                if link.remote_shard not in known:
+                    raise SimulationError(
+                        f"shard {spec.shard_id!r} links to unknown shard"
+                        f" {link.remote_shard!r}"
+                    )
+                latencies.append(link.latency)
+        self.specs = specs
+        self.workers = max(1, int(workers))
+        self.start_method = start_method
+        self.lookahead = min(latencies) if latencies else None
+
+    def run(self, duration):
+        """Execute all shards for ``duration`` virtual seconds past the
+        latest build-time clock, and collect their results."""
+        start_wall = time.perf_counter()
+        if self.workers == 1:
+            workers = [_LocalWorker(self.specs)]
+        else:
+            context = multiprocessing.get_context(self.start_method)
+            workers = [
+                _ProcessWorker(group, context)
+                for group in assign_shards(self.specs, self.workers)
+            ]
+        owner = {}
+        for worker in workers:
+            for spec in worker.specs:
+                owner[spec.shard_id] = worker
+        try:
+            t0 = 0.0
+            for worker in workers:
+                t0 = max(t0, max(worker.ready().values()))
+            until = t0 + duration
+            now = t0
+            pending = {}  # shard_id -> [frames]
+            windows = 0
+            window_busy = []
+            busy = {}
+            executed = 0
+            while now < until:
+                w_end = (
+                    until if self.lookahead is None
+                    else min(until, now + self.lookahead)
+                )
+                for worker in workers:
+                    inbound = {
+                        spec.shard_id: pending.pop(spec.shard_id)
+                        for spec in worker.specs
+                        if spec.shard_id in pending
+                    }
+                    if isinstance(worker, _LocalWorker):
+                        worker._pending_reply = worker.run(w_end, inbound)
+                    else:
+                        worker.send_run(w_end, inbound)
+                this_window = {}
+                for worker in workers:
+                    if isinstance(worker, _LocalWorker):
+                        outbound, worker_busy, fired = worker._pending_reply
+                    else:
+                        outbound, worker_busy, fired = worker.recv_run()
+                    executed += fired
+                    for sid, seconds in worker_busy.items():
+                        this_window[sid] = seconds
+                        busy[sid] = busy.get(sid, 0.0) + seconds
+                    for dst, frames in outbound.items():
+                        pending.setdefault(dst, []).extend(frames)
+                window_busy.append(this_window)
+                windows += 1
+                now = w_end
+            shard_results = {}
+            for worker in workers:
+                if isinstance(worker, _LocalWorker):
+                    shard_results.update(worker.finish())
+                else:
+                    worker.send_finish()
+            for worker in workers:
+                if not isinstance(worker, _LocalWorker):
+                    shard_results.update(worker.recv_finish())
+        finally:
+            for worker in workers:
+                worker.close()
+        wall = time.perf_counter() - start_wall
+        return ParallelResult(
+            self.specs, len(workers), self.lookahead, shard_results,
+            windows, window_busy, busy, executed, wall,
+        )

@@ -191,14 +191,15 @@ class RpcClient:
     no reply arrives in time (lost packets, dead server, partition).
     """
 
-    _port_counter = itertools.count(40000)
-
     def __init__(self, engine, host, server_addr, server_port, protocol="rpc"):
         self.engine = engine
         self.host = host
         self.server_addr = server_addr
         self.server_port = server_port
-        port = next(self._port_counter)
+        # engine-scoped allocation: a client's port must not depend on
+        # which other simulations share this OS process (determinism
+        # across parallel-runtime worker placements)
+        port = engine.next_id("rpc.client_port", 40000)
         self.socket = DatagramSocket(host, port, protocol=protocol)
         self.socket.on_receive = self._on_frame
         self._req_counter = itertools.count(1)

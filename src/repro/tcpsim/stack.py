@@ -42,8 +42,6 @@ class TcpStackConfig:
 class TcpStack:
     """TCP for one host: sockets, demux, Netfilter chains, CPU pacing."""
 
-    _isn_counter = itertools.count(1)
-
     def __init__(self, engine, host, config=None):
         self.engine = engine
         self.host = host
@@ -112,8 +110,12 @@ class TcpStack:
             on_accept(conn)
 
     def next_isn(self):
-        """Deterministic ISN generator (stands in for the RFC 6528 hash)."""
-        return 1_000_000 + 64_000 * next(self._isn_counter)
+        """Deterministic ISN generator (stands in for the RFC 6528 hash).
+
+        Engine-scoped: ISNs are unique within one simulated deployment
+        and independent of other simulations sharing the OS process.
+        """
+        return 1_000_000 + 64_000 * self.engine.next_id("tcp.isn", 1)
 
     def make_congestion_control(self, mss):
         return self.config.congestion_control(mss)

@@ -1,0 +1,235 @@
+"""Sharded container-fleet workload for the parallel runtime.
+
+The scenario models a multi-site deployment: each *site* is one full
+TENSOR cluster (controller, database, agent, gateway machines, container
+pairs with their peering ASes) — an independent simulation universe —
+plus one border router that speaks eBGP with the neighbouring sites'
+border routers over WAN links.  The sites are the shards: everything
+inside a site is dense local traffic (BFD at millisecond cadence,
+supervision polls, route churn), while the only cross-shard coupling is
+the border mesh, whose 20 ms WAN latency is exactly the conservative
+lookahead the parallel runtime synchronizes on.
+
+Builders here follow the :mod:`repro.sim.parallel.runtime` contract: all
+timed setup (route origination, border bring-up, churn) is *scheduled*,
+never run, so a site shard does zero simulation work at build time and
+every cross-shard byte flows through the windowed barriers.
+"""
+
+from repro.bgp.peer import PeerConfig
+from repro.bgp.speaker import BgpSpeaker, SpeakerConfig
+from repro.core.system import PeerNeighborSpec, TensorSystem
+from repro.sim.parallel.boundary import BoundaryLink
+from repro.sim.parallel.runtime import ShardSpec
+from repro.sim.rand import DeterministicRandom
+from repro.tcpsim.stack import TcpStack
+from repro.workloads.topology import build_remote_peer
+from repro.workloads.updates import RouteGenerator
+
+#: WAN latency between sites — the parallel lookahead bound.
+WAN_LATENCY = 0.02
+WAN_BANDWIDTH = 10e9
+
+#: virtual-time schedule inside every site
+ROUTES_AT = 12.0
+BORDER_AT = 15.0
+CHURN_AT = 18.0
+
+
+def border_address(site):
+    return f"172.16.{site}.1"
+
+
+def border_asn(site):
+    return 65100 + site
+
+
+def _ring_neighbors(site, sites):
+    """The neighbouring site indices on the ring (deduplicated)."""
+    if sites <= 1:
+        return []
+    neighbors = {(site - 1) % sites, (site + 1) % sites}
+    neighbors.discard(site)
+    return sorted(neighbors)
+
+
+class FleetSiteProgram:
+    """One site: a TensorSystem plus a border router on the WAN ring."""
+
+    def __init__(self, shard_id, params, boundary):
+        site = params["site"]
+        sites = params["sites"]
+        pairs = params.get("pairs", 4)
+        routes = params.get("routes", 50)
+        border_routes = params.get("border_routes", 20)
+        churn_ticks = params.get("churn_ticks", 4)
+        churn_interval = params.get("churn_interval", 5.0)
+        seed = params.get("seed", 0)
+        tracing = params.get("tracing", False)
+
+        self.site = site
+        self.system = TensorSystem(seed=seed * 1009 + site, tracing=tracing)
+        self.engine = self.system.engine
+        engine = self.engine
+        machines = [
+            self.system.add_machine(f"s{site}-gw-1", "10.1.0.1"),
+            self.system.add_machine(f"s{site}-gw-2", "10.2.0.1"),
+        ]
+        rand = DeterministicRandom(seed * 7919 + site)
+        self.remotes = []
+        for i in range(pairs):
+            pair = self.system.create_pair(
+                f"s{site}p{i}",
+                machines[i % 2],
+                machines[(i + 1) % 2],
+                service_addr=f"10.10.{i}.1",
+                local_as=65001,
+                router_id=f"10.10.{i}.1",
+                neighbors=[
+                    PeerNeighborSpec(
+                        f"192.0.2.{i + 1}", 64512 + i, vrf_name="v0", mode="passive"
+                    )
+                ],
+            )
+            remote = build_remote_peer(
+                self.system, f"s{site}r{i}", f"192.0.2.{i + 1}", 64512 + i,
+                link_machines=machines,
+            )
+            session = remote.peer_with(f"10.10.{i}.1", 65001, vrf_name="v0",
+                                       mode="active")
+            pair.start()
+            remote.start()
+            self.remotes.append((remote, session))
+
+        # intra-site route load + a deterministic churn block per remote
+        self._route_sets = []
+        self._churn_sets = []
+        for i in range(pairs):
+            gen = RouteGenerator(rand.fork(f"pair{i}"), 64512 + i,
+                                 next_hop=f"192.0.2.{i + 1}")
+            self._route_sets.append(gen.routes(routes, base=f"10.{32 + i}.0.0"))
+            self._churn_sets.append(gen.routes(
+                max(1, routes // 4), base=f"10.{64 + i}.0.0"
+            ))
+        engine.schedule(ROUTES_AT, self._originate_initial)
+        self._churn_ticks = churn_ticks
+        self._churn_interval = churn_interval
+        if churn_ticks:
+            engine.schedule(CHURN_AT, self._churn, 0)
+
+        # the border router: one eBGP speaker facing the neighbouring sites
+        self.border_host = self.system.network.add_host(
+            f"s{site}-border", border_address(site)
+        )
+        self.border_stack = TcpStack(engine, self.border_host)
+        self.border = BgpSpeaker(
+            engine,
+            self.border_stack,
+            SpeakerConfig(f"border{site}", border_asn(site),
+                          border_address(site), profile="frr"),
+        )
+        self.border.add_vrf("wan")
+        for neighbor in _ring_neighbors(site, sites):
+            # exactly one active endpoint per ring edge
+            self.border.add_peer(PeerConfig(
+                border_address(neighbor),
+                border_asn(neighbor),
+                vrf_name="wan",
+                mode="active" if site < neighbor else "passive",
+            ))
+        border_gen = RouteGenerator(rand.fork("border"), border_asn(site),
+                                    next_hop=border_address(site))
+        self.border.originate_many(
+            "wan", border_gen.routes(border_routes, base=f"10.{128 + site}.0.0")
+        )
+        engine.schedule(BORDER_AT, self.border.start)
+
+        # WAN edges exist as stub-host links from here on; every border
+        # packet to a neighbour is exported at a window barrier
+        boundary.attach(self.system.network)
+
+    # -- scheduled workload -------------------------------------------------
+
+    def _originate_initial(self):
+        for (remote, session), routes in zip(self.remotes, self._route_sets):
+            remote.speaker.originate_many("v0", routes)
+            remote.speaker.readvertise(session)
+
+    def _churn(self, tick):
+        withdraw = tick % 2
+        for (remote, _session), block in zip(self.remotes, self._churn_sets):
+            for prefix, attrs in block:
+                if withdraw:
+                    remote.speaker.withdraw_originated("v0", prefix)
+                else:
+                    remote.speaker.originate("v0", prefix, attrs)
+        if tick + 1 < self._churn_ticks:
+            self.engine.schedule(self._churn_interval, self._churn, tick + 1)
+
+    # -- runtime contract ---------------------------------------------------
+
+    def results(self):
+        wan_rib = tuple(
+            (entry["prefix"], str(entry["peer_id"]), entry["source_kind"],
+             bytes(entry["attributes"]))
+            for entry in self.border.vrfs["wan"].loc_rib.export_entries()
+        )
+        out = {
+            "site": self.site,
+            "rib": self.system.rib_digest(),
+            "border_rib": wan_rib,
+            "border_established": len(self.border.established_sessions()),
+            "containers": sum(
+                len(machine.containers) for machine in self.system.machines.values()
+            ),
+            "packets_sent": self.system.network.packets_sent,
+        }
+        store = self.system.trace_store
+        if store is not None:
+            out["phase_summary"] = store.phase_summary()
+        return out
+
+
+def build_fleet_site(shard_id, params, boundary):
+    """Spawn-safe ShardSpec builder (``repro.workloads.fleet:build_fleet_site``)."""
+    return FleetSiteProgram(shard_id, params, boundary)
+
+
+def fleet_site_specs(sites, pairs=4, routes=50, border_routes=20, seed=0,
+                     churn_ticks=4, churn_interval=5.0, tracing=False):
+    """ShardSpecs for a ``sites``-site fleet on a WAN ring.
+
+    Total container count is ``sites * (pairs * 2 + pairs)`` active
+    containers plus backups; weight is the pair count, which is what the
+    LPT partitioner balances across workers.
+    """
+    specs = []
+    for site in range(sites):
+        links = tuple(
+            BoundaryLink(
+                border_address(site),
+                border_address(neighbor),
+                f"site{neighbor}",
+                latency=WAN_LATENCY,
+                bandwidth=WAN_BANDWIDTH,
+            )
+            for neighbor in _ring_neighbors(site, sites)
+        )
+        specs.append(ShardSpec(
+            f"site{site}",
+            "repro.workloads.fleet:build_fleet_site",
+            params={
+                "site": site,
+                "sites": sites,
+                "pairs": pairs,
+                "routes": routes,
+                "border_routes": border_routes,
+                "seed": seed,
+                "churn_ticks": churn_ticks,
+                "churn_interval": churn_interval,
+                "tracing": tracing,
+            },
+            links=links,
+            weight=float(pairs),
+        ))
+    return specs

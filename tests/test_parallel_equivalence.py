@@ -1,0 +1,101 @@
+"""Seeded equivalence: sharded parallel execution is bit-identical.
+
+The conservative runtime's core guarantee (DESIGN.md §11): for a fixed
+scenario and seed, ``workers=1`` and ``workers=4`` produce identical
+Loc-RIB contents, chaos oracle verdicts, and trace phase summaries —
+sharding changes wall-clock, never results.  These tests pin that
+guarantee on the two shard programs the repo ships: the container-fleet
+workload (cross-shard BGP ring) and the chaos corpus (closed shards).
+"""
+
+import functools
+
+import pytest
+
+from repro.failures.chaos import (
+    chaos_corpus_horizon,
+    chaos_corpus_specs,
+    generate_schedule,
+    run_schedule,
+)
+from repro.sim.parallel import ParallelRunner
+from repro.workloads.fleet import fleet_site_specs
+
+pytestmark = pytest.mark.slow
+
+FLEET_KW = dict(pairs=2, routes=20, border_routes=10, seed=3,
+                churn_ticks=2, churn_interval=2.0, tracing=True)
+FLEET_DURATION = 22.0
+CHAOS_SEEDS = (0, 1, 2)
+
+
+@functools.lru_cache(maxsize=None)
+def fleet_run(workers):
+    specs = fleet_site_specs(2, **FLEET_KW)
+    return ParallelRunner(specs, workers=workers).run(FLEET_DURATION)
+
+
+@functools.lru_cache(maxsize=None)
+def chaos_run(workers):
+    specs = chaos_corpus_specs(CHAOS_SEEDS)
+    return ParallelRunner(specs, workers=workers).run(
+        chaos_corpus_horizon(CHAOS_SEEDS)
+    )
+
+
+# ----------------------------------------------------------------------
+# fleet workload: traced, cross-shard BGP ring
+# ----------------------------------------------------------------------
+
+def test_fleet_sharded_run_is_bit_identical_across_worker_counts():
+    sequential, sharded = fleet_run(1), fleet_run(4)
+    assert sequential.shard_results == sharded.shard_results
+    # same virtual execution: identical event counts and barrier count
+    assert sequential.executed == sharded.executed
+    assert sequential.windows == sharded.windows
+
+
+def test_fleet_run_exercises_the_cross_shard_ring():
+    result = fleet_run(1)
+    for site_result in result.shard_results.values():
+        # WAN sessions established over boundary links and routes learned
+        assert site_result["border_established"] >= 1
+        assert len(site_result["border_rib"]) > FLEET_KW["border_routes"]
+        # per-pair Loc-RIBs converged and non-trivial
+        assert site_result["rib"]
+        assert all(site_result["rib"].values())
+
+
+def test_fleet_trace_phase_summaries_match_across_worker_counts():
+    sequential, sharded = fleet_run(1), fleet_run(4)
+    for site in sequential.shard_results:
+        summary = sequential.shard_results[site]["phase_summary"]
+        assert summary  # tracing was on and captured phases
+        assert summary == sharded.shard_results[site]["phase_summary"]
+
+
+# ----------------------------------------------------------------------
+# chaos corpus: closed shards, oracle verdicts
+# ----------------------------------------------------------------------
+
+def test_chaos_corpus_verdicts_identical_across_worker_counts():
+    sequential, sharded = chaos_run(1), chaos_run(4)
+    assert sequential.shard_results == sharded.shard_results
+    for seed in CHAOS_SEEDS:
+        verdict = sequential.shard_results[f"chaos{seed}"]["verdict"]
+        assert verdict == "all oracles passed"
+
+
+def test_chaos_shard_matches_plain_run_schedule():
+    # a closed shard under the windowed runner is literally run_schedule:
+    # same verdict, same violation list, same event count, same RIBs
+    sharded = chaos_run(1)
+    for seed in CHAOS_SEEDS:
+        plain = run_schedule(generate_schedule(seed))
+        shard = sharded.shard_results[f"chaos{seed}"]
+        assert shard["verdict"] == plain.summary()
+        assert shard["violations"] == tuple(
+            (v.time, v.oracle, v.detail) for v in plain.suite.violations
+        )
+        assert shard["executed"] == plain.events_executed
+        assert shard["rib"] == plain.system.rib_digest()

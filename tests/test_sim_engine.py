@@ -211,3 +211,119 @@ def test_run_stepped_rejects_nonpositive_quantum():
     engine = Engine()
     with pytest.raises(SimulationError):
         engine.run_stepped(1.0, lambda now: None, quantum=0.0)
+
+
+# ----------------------------------------------------------------------
+# same-instant slot bookkeeping (the chained-members fast path)
+# ----------------------------------------------------------------------
+
+def test_cancelled_slot_head_members_still_fire_fifo():
+    # Cancelling the first event scheduled for an instant must not take
+    # the events chained onto its heap slot down with it: members are
+    # independent events, cancellation is strictly per-event.
+    engine = Engine()
+    order = []
+    head = engine.schedule(1.0, order.append, "head")
+    engine.schedule(1.0, order.append, "m1")
+    engine.schedule(1.0, order.append, "m2")
+    head.cancel()
+    engine.run_until_idle()
+    assert order == ["m1", "m2"]
+    assert engine.now == 1.0
+
+
+def test_schedule_onto_cancelled_heads_instant_still_fires():
+    # A cancelled head stays in _slots until popped, so a later schedule
+    # for the same instant chains onto it — and must still fire.
+    engine = Engine()
+    fired = []
+    head = engine.schedule(1.0, fired.append, "head")
+    head.cancel()
+    late = engine.schedule(1.0, fired.append, "late")
+    engine.run_until_idle()
+    assert fired == ["late"]
+    assert not late.cancelled
+
+
+def test_cancelled_memberless_head_pops_cleanly():
+    # The run loop's cancelled-and-memberless fast path must clear the
+    # slot entry so a fresh event at the same instant gets its own slot.
+    engine = Engine()
+    fired = []
+    head = engine.schedule(1.0, fired.append, "head")
+    head.cancel()
+    engine.run_until_idle()
+    assert engine._slots == {}
+    engine.schedule(0.0, fired.append, "fresh")  # now == 1.0
+    engine.run_until_idle()
+    assert fired == ["fresh"]
+
+
+def test_interrupted_slot_members_requeue_and_resume():
+    engine = Engine()
+    order = []
+    engine.schedule(1.0, engine.stop)
+    for tag in ("a", "b", "c"):
+        engine.schedule(1.0, order.append, tag)
+    engine.run()
+    assert order == []  # stop lands before the members fire
+    engine.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# the parallel runtime's engine surface: run_window / inject / next_id
+# ----------------------------------------------------------------------
+
+def test_run_window_lands_clock_exactly_on_barrier():
+    engine = Engine()
+    fired = []
+    engine.schedule(0.5, fired.append, "in")
+    engine.schedule(1.5, fired.append, "out")
+    executed = engine.run_window(1.0)
+    assert executed == 1
+    assert fired == ["in"]
+    assert engine.now == 1.0
+    engine.run_window(2.0)
+    assert fired == ["in", "out"]
+    assert engine.now == 2.0
+
+
+def test_run_window_rejects_backwards_barrier():
+    engine = Engine()
+    engine.advance(2.0)
+    with pytest.raises(SimulationError):
+        engine.run_window(1.0)
+
+
+def test_inject_at_absolute_time_and_reject_past():
+    engine = Engine()
+    engine.advance(1.0)
+    times = []
+    engine.inject(2.5, lambda: times.append(engine.now))
+    engine.run_until_idle()
+    assert times == [2.5]
+    with pytest.raises(SimulationError):
+        engine.inject(1.0, lambda: None)
+
+
+def test_injection_order_fixes_same_instant_interleaving():
+    # Injections at an instant interleave with local events purely by
+    # scheduling order — the property the deterministic barrier merge
+    # relies on.
+    engine = Engine()
+    order = []
+    engine.schedule(1.0, order.append, "local")
+    engine.inject(1.0, order.append, "injected")
+    engine.run_until_idle()
+    assert order == ["local", "injected"]
+
+
+def test_next_id_counters_are_engine_scoped():
+    a, b = Engine(), Engine()
+    assert a.next_id("tcp.isn", 1) == 1
+    assert a.next_id("tcp.isn", 1) == 2
+    assert a.next_id("bfd.disc", 1) == 1  # independent namespaces
+    # a second engine in the same process starts from scratch: identifier
+    # streams never leak between co-hosted simulations
+    assert b.next_id("tcp.isn", 1) == 1
