@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
 SEEDS ?= 25
 
-.PHONY: test bench bench-hotpath bench-parallel bench-gate profile parallel-smoke chaos chaos-corpus chaos-ablation trace-demo verify
+.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile parallel-smoke kv-failover chaos chaos-corpus chaos-ablation trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -19,6 +19,16 @@ bench-hotpath:
 # workers=1/2/4; writes BENCH_parallel.json (determinism + speedup).
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_fleet.py
+
+# Kill the KV primary mid-burst at several seeds; measures detection+
+# promotion and kill->last-held-ACK drain, writes BENCH_failover.json.
+bench-failover:
+	$(PYTHON) benchmarks/bench_failover.py
+
+# One reduced automatic-failover scenario, asserts only: the monitor
+# must promote on its own and every held ACK must drain in budget.
+kv-failover:
+	$(PYTHON) benchmarks/bench_failover.py --smoke
 
 # Fails (non-zero) when any metric in a fresh run regresses past its
 # suite threshold against the committed BENCH_*.json baselines, or when
@@ -54,6 +64,7 @@ chaos-ablation:
 trace-demo:
 	$(PYTHON) -m repro.trace.demo
 
-# The full gate: tier-1 tests, perf regression (hot path + parallel),
-# chaos corpus, and the parallel determinism smoke.
-verify: test bench-gate chaos-corpus parallel-smoke
+# The full gate: tier-1 tests, perf regression (hot path, parallel,
+# failover drain), chaos corpus, the parallel determinism smoke, and
+# the database failover smoke.
+verify: test bench-gate chaos-corpus parallel-smoke kv-failover

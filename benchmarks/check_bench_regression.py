@@ -59,7 +59,37 @@ def _validate_parallel(fresh):
     return failures
 
 
+def _validate_failover(fresh):
+    """Failover-suite invariants beyond the throughput ratchet.
+
+    The drain budget is absolute: whatever the baseline says, a recovery
+    that leaves ACKs held past the chaos liveness oracle's 6 s streak
+    limit is broken, not merely slow.
+    """
+    failures = []
+    budget = fresh.get("workload", {}).get("drain_budget_s", 6.0)
+    drain = fresh.get("ack_drain_s")
+    if drain is None:
+        failures.append("ack_drain_s missing from BENCH_failover.json")
+    elif drain >= budget:
+        failures.append(
+            f"ack drain {drain:.2f}s exceeds the {budget:.0f}s budget"
+        )
+    else:
+        print(f"  ack drain: {drain:.2f}s < {budget:.0f}s budget  ok")
+    return failures
+
+
 SUITES = {
+    "failover": {
+        "json": "BENCH_failover.json",
+        "run": [sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_failover.py")],
+        # virtual-clock measurement: deterministic, so only a real
+        # behavior change (slower detection/drain) can move it
+        "threshold": 0.10,
+        "validate": _validate_failover,
+    },
     "hotpath": {
         "json": "BENCH_hotpath.json",
         "run": [sys.executable, "-m", "pytest",
@@ -127,12 +157,18 @@ def check_suite(name, suite, skip_run, baseline_override):
         baseline = json.loads(baseline_override.read_text())
     else:
         baseline = committed_baseline(suite["json"])
-        if baseline is None:
-            sys.exit(f"bench-gate: no committed {suite['json']} baseline "
-                     "(pass --baseline PATH)")
     if not skip_run:
         run_suite(suite)
     fresh = json.loads(results_path.read_text())
+
+    if baseline is None:
+        # A suite gating for the first time has no committed baseline
+        # yet: validate its invariants against the fresh run and ask
+        # for the JSON to be committed.  Established suites always have
+        # a committed baseline, so this never weakens them.
+        print(f"bench-gate[{name}]: BOOTSTRAP — no committed "
+              f"{suite['json']}; commit it to start the ratchet")
+        baseline = fresh
 
     print(f"bench-gate[{name}]: threshold {suite['threshold']:.0%} against "
           f"{baseline_override or 'committed baseline'}")

@@ -16,6 +16,7 @@ a small interface:
 """
 
 from repro.control.channels import GrpcChannel, HealthServer, next_grpc_port
+from repro.control.db_monitor import DbFailoverMonitor
 from repro.control.detector import FailureDetector
 from repro.control.fencing import FencingRegistry
 from repro.control.migration import MigrationRecord
@@ -45,6 +46,7 @@ class Controller:
         self.events = []
         self._recovering = set()
         self.failure_hooks = []  # fn(report) observers (tests/benchmarks)
+        self.db_monitor = None
 
     # ------------------------------------------------------------------
     # registration / wiring
@@ -106,6 +108,26 @@ class Controller:
 
     def register_pair(self, pair):
         self.pairs[pair.name] = pair
+
+    def attach_database(self, cluster, on_failover=None):
+        """Watch a replicated KV cluster and fail it over automatically.
+
+        On a confirmed primary death the monitor promotes the replica
+        under the next cluster epoch; ``on_failover(new_addr, epoch)``
+        is then invoked (the system uses it to repoint every KV client).
+        """
+
+        def record(new_addr, epoch):
+            self.events.append(
+                (self.engine.now, "database-failover", (new_addr, epoch))
+            )
+            if on_failover is not None:
+                on_failover(new_addr, epoch)
+
+        self.db_monitor = DbFailoverMonitor(
+            self.engine, self.host, cluster, on_failover=record
+        )
+        return self.db_monitor
 
     def docker_event(self, kind, container, detail):
         """Entry point for ProcessMonitor events forwarded over gRPC."""

@@ -1,0 +1,81 @@
+"""Controller-side database health monitor and automatic failover.
+
+Reuses the §3.3 detection discipline (periodic probes, a miss window,
+then a verdict) against the KV cluster's primary: the controller pings
+the primary's KV port, and when misses accumulate past a confirmation
+window it promotes the replica under the next cluster epoch and pushes
+repoints to every registered client so held ACKs drain automatically.
+
+Timing: probes every ``PING_INTERVAL`` with a ``PING_TIMEOUT`` budget,
+promotion after ``CONFIRM_WINDOW`` of continuous silence.  The window is
+deliberately wider than any transient database blip the chaos engine
+injects (0.4–1.2 s, and the 2.0 s ablation outage in the NSR invariant
+tests) so a recoverable hiccup never triggers a spurious failover, yet
+narrow enough that detection + promotion + client drain completes well
+inside the liveness oracle's 6 s held-ACK streak limit.
+"""
+
+from repro.kvstore.client import KvClient
+
+PING_INTERVAL = 0.5
+PING_TIMEOUT = 0.5
+CONFIRM_WINDOW = 2.5
+
+
+class DbFailoverMonitor:
+    """Pings the KV primary; promotes the replica on confirmed death."""
+
+    def __init__(self, engine, host, cluster, on_failover=None):
+        self.engine = engine
+        self.host = host
+        self.cluster = cluster
+        self.on_failover = on_failover
+        self.client = KvClient(engine, host, cluster.primary_addr,
+                               cluster.port)
+        self._first_miss = None
+        self._stopped = False
+        self.failovers = 0
+        self.engine.schedule(PING_INTERVAL, self._tick)
+
+    def _tick(self):
+        if self._stopped:
+            return
+        self.client.ping(
+            on_done=self._on_pong,
+            on_error=self._on_miss,
+            timeout=PING_TIMEOUT,
+        )
+        self.engine.schedule(PING_INTERVAL, self._tick)
+
+    def _on_pong(self):
+        self._first_miss = None
+
+    def _on_miss(self, _method, _cause):
+        if self._stopped:
+            return
+        now = self.engine.now
+        if self._first_miss is None:
+            self._first_miss = now
+            return
+        if now - self._first_miss < CONFIRM_WINDOW:
+            return
+        self._promote()
+
+    def _promote(self):
+        cluster = self.cluster
+        # Only promote when there is a live replica to promote onto;
+        # after one failover the "replica" slot holds the dead old
+        # primary, so a second confirmed death (both nodes gone) waits
+        # here rather than ping-ponging the primary role.
+        if cluster.replica is None or cluster.replica.failed:
+            return
+        new_addr = cluster.promote_replica()
+        self.failovers += 1
+        self._first_miss = None
+        self.client.repoint(new_addr, epoch=cluster.epoch)
+        if self.on_failover is not None:
+            self.on_failover(new_addr, cluster.epoch)
+
+    def stop(self):
+        self._stopped = True
+        self.client.close()

@@ -18,6 +18,15 @@ from repro.trace.tracer import tracer_of
 
 TENSOR_ACK_QUEUE = 1
 
+#: Delay before re-issuing a failed verify read, and how many times to
+#: try.  A verify read in flight when the database fails over would
+#: otherwise strand its ACK forever: the write is already durable on the
+#: promoted replica, but nothing would ever re-verify it.  The cap keeps
+#: a truly dead database from accumulating timers — at that point ACKs
+#: staying held is the fail-safe direction anyway.
+VERIFY_RETRY_DELAY = 0.5
+VERIFY_RETRY_LIMIT = 40
+
 
 def _is_pure_ack(segment):
     return (
@@ -146,22 +155,46 @@ class TcpQueueThread:
         if not self.verify_reads:
             self._confirm(entry, ack_position, span)
             return
+        self._verify(keys, ack_position, record_key, span, attempts=0)
+
+    def _verify(self, keys, ack_position, record_key, span, attempts):
+        entry = self._entry_for_keys(keys)
+        if (
+            self.crashed
+            or entry is None  # connection torn down meanwhile
+            or ack_position <= entry["confirmed_pos"]  # covered already
+        ):
+            if span is not None:
+                span.finish(outcome="superseded")
+            return
         self.verify_read_count += 1
         verify_span = None
         if span is not None:
             verify_span = tracer_of(self.engine).begin(
                 "verify_read", parent=span, key=record_key
             )
+
+        def on_error(_method, _cause):
+            # DB unreachable: the ACK stays held (fail-safe direction)
+            # while bounded retries chase the record — after a failover
+            # the promoted replica *has* it, and without a re-read the
+            # ACK would be stranded forever.
+            if verify_span is not None:
+                verify_span.finish(outcome="error")
+            if attempts < VERIFY_RETRY_LIMIT:
+                self.engine.schedule(
+                    VERIFY_RETRY_DELAY, self._verify,
+                    keys, ack_position, record_key, span, attempts + 1,
+                )
+            elif span is not None:
+                span.finish(outcome="error")
+
         self.pipeline.verify_read(
             record_key,
             on_value=lambda value: self._on_verified(
                 entry, ack_position, value, span, verify_span
             ),
-            on_error=lambda _m: (
-                # DB unreachable: ACKs stay held (fail-safe direction)
-                verify_span.finish(outcome="error")
-                if verify_span is not None else None
-            ),
+            on_error=on_error,
         )
 
     def _on_verified(self, entry, ack_position, value, span=None,

@@ -204,7 +204,7 @@ class BackupRecovery:
         self.kv.scan(
             prefix,
             on_done=lambda pairs: on_done(self._parse(pairs)),
-            on_error=lambda _method: self.engine.schedule(
+            on_error=lambda _method, _cause: self.engine.schedule(
                 self.SCAN_RETRY_DELAY, self.load, on_done, estimated_records
             ),
             estimated=estimated_records,

@@ -28,6 +28,7 @@ routing-table writes:
 
 import zlib
 
+from repro.kvstore.client import CAUSE_FENCED
 from repro.kvstore.locks import LockManager
 
 #: Compact RIB deltas into snapshot chunks past this many deltas per VRF.
@@ -36,6 +37,8 @@ COMPACTION_THRESHOLD = 1024
 SNAPSHOT_CHUNK_ROUTES = 500
 #: Replication write retries before declaring the database unavailable.
 WRITE_RETRIES = 3
+#: First retry delay; doubles per attempt (0.2, 0.4, 0.8 for 3 retries).
+RETRY_BACKOFF_BASE = 0.2
 
 
 class ConnectionKeys:
@@ -105,6 +108,20 @@ class WriteCoalescer:
     decays back toward ``max_batch`` once the queue drains — amortizing
     per-operation base cost under load without letting an idle channel
     hold huge batches.
+
+    Failure handling distinguishes causes (DESIGN.md §12):
+
+    - timeouts/refusals back off exponentially between retries; when the
+      client's ``endpoint_generation`` changed since the batch was
+      issued (a failover repoint landed), the batch restarts against
+      the new endpoint with a *fresh* retry budget;
+    - a **fenced** write re-queues the batch at the head and waits for
+      the controller's repoint (retrying against the demoted primary
+      cannot succeed);
+    - exhausted **set** batches drop and surface ``on_unavailable``
+      (the caller keeps ACKs held — fail-safe); exhausted **delete**
+      batches re-queue instead of dropping, because a silently lost
+      prune leaks snapshot-store records forever.
     """
 
     def __init__(self, client, max_batch=512, on_unavailable=None,
@@ -124,6 +141,19 @@ class WriteCoalescer:
         self.records_written = 0
         self.records_deleted = 0
         self.failures = 0
+        self.fenced = 0
+        self.requeued_deletes = 0
+        # On a failover repoint, resume flushing anything parked by a
+        # fenced write or an exhausted delete batch.
+        if hasattr(client, "on_repoint"):
+            client.on_repoint = self.kick
+
+    def kick(self):
+        """Resume flushing (failover repoint landed, endpoint is live)."""
+        self._maybe_flush()
+
+    def _generation(self):
+        return getattr(self.client, "endpoint_generation", 0)
 
     def set(self, key, value, on_done=None):
         self._pending.append(("set", key, value, on_done))
@@ -207,9 +237,40 @@ class WriteCoalescer:
             channel=self.name, kind=kind, records=records,
         )
 
+    def _retry(self, issue, run, retries, cause, generation):
+        """Shared failure policy for both batch kinds.
+
+        Returns True when a retry (or requeue) was arranged; False means
+        the budget is spent and the caller must give up.
+        """
+        self.failures += 1
+        if cause == CAUSE_FENCED:
+            # This endpoint was demoted; only a repoint can help.  Park
+            # the batch at the head of the queue and wait for the
+            # controller's push (client.on_repoint -> kick).
+            self.fenced += 1
+            self._pending[:0] = run
+            self._in_flight = False
+            return True
+        if self._generation() != generation:
+            # A repoint landed mid-attempt: the old endpoint's failures
+            # say nothing about the new one — fresh budget.
+            issue(run, WRITE_RETRIES)
+            return True
+        if retries <= 0:
+            return False
+        attempt = WRITE_RETRIES - retries
+        delay = RETRY_BACKOFF_BASE * (2 ** attempt)
+        if self.engine is not None:
+            self.engine.schedule(delay, issue, run, retries - 1)
+        else:
+            issue(run, retries - 1)
+        return True
+
     def _issue_sets(self, run, retries):
         items = [(key, value) for _kind, key, value, _cb in run]
         span = self._batch_span("set", len(run))
+        generation = self._generation()
 
         def on_done():
             if span is not None:
@@ -221,14 +282,11 @@ class WriteCoalescer:
                     callback()
             self._flush_run()
 
-        def on_error(_method):
+        def on_error(_method, cause=None):
             if span is not None:
                 span.finish(outcome="error")
-            self.failures += 1
-            if retries > 0:
-                self._issue_sets(run, retries - 1)
-            else:
-                self._give_up(self._record_count(run))
+            if not self._retry(self._issue_sets, run, retries, cause, generation):
+                self._give_up_sets(run)
 
         self.client.mset(items, on_done=on_done, on_error=on_error)
 
@@ -240,6 +298,7 @@ class WriteCoalescer:
             else:
                 keys.append(key)
         span = self._batch_span("delete", len(keys))
+        generation = self._generation()
 
         def on_done(_removed):
             if span is not None:
@@ -251,14 +310,11 @@ class WriteCoalescer:
                     callback()
             self._flush_run()
 
-        def on_error(_method):
+        def on_error(_method, cause=None):
             if span is not None:
                 span.finish(outcome="error")
-            self.failures += 1
-            if retries > 0:
-                self._issue_deletes(run, retries - 1)
-            else:
-                self._give_up(self._record_count(run))
+            if not self._retry(self._issue_deletes, run, retries, cause, generation):
+                self._give_up_deletes(run)
 
         self.client.delete(keys, on_done=on_done, on_error=on_error)
 
@@ -266,16 +322,31 @@ class WriteCoalescer:
     def _record_count(run):
         return sum(len(op[1]) if op[0] == "mdelete" else 1 for op in run)
 
-    def _give_up(self, dropped):
+    def _give_up_sets(self, run):
         """Database unavailable: stop retrying, keep the system fail-safe.
 
-        ``dropped`` counts the records abandoned with this batch; their
-        per-op callbacks never fire, and the in-flight flag resets so a
-        later enqueue can resume flushing if the database returns.
+        The batch's records are abandoned (their per-op callbacks never
+        fire — upstream the matching ACKs stay held) and the in-flight
+        flag resets so a later enqueue can resume flushing if the
+        database returns.
         """
         self._in_flight = False
         if self.on_unavailable is not None:
-            self.on_unavailable(dropped)
+            self.on_unavailable(self._record_count(run))
+
+    def _give_up_deletes(self, run):
+        """Exhausted prune batch: re-queue rather than leak.
+
+        Unlike a dropped set (whose held ACK keeps the system safe), a
+        dropped delete has no upstream guardian — the pruned records
+        would simply live in the snapshot store forever.  Nothing was
+        lost, so ``on_unavailable`` is not raised; the batch goes back
+        to the head of the queue and flushes when the database returns
+        (next enqueue or failover kick).
+        """
+        self.requeued_deletes += self._record_count(run)
+        self._pending[:0] = run
+        self._in_flight = False
 
 
 class ReplicationPipeline:

@@ -25,6 +25,7 @@ from repro.core.recovery import BackupRecovery
 from repro.core.replication import ReplicationPipeline
 from repro.core.tensor_process import TensorBgpSpeaker
 from repro.kvstore.client import KvClient
+from repro.kvstore.replication import ReplicatedKvCluster
 from repro.kvstore.server import KvServer
 from repro.containers.underlay import Underlay
 from repro.sim.calibration import (
@@ -96,8 +97,18 @@ class TensorSystem:
         self.fencing = FencingRegistry(self.engine)
         self.controller = Controller(self.engine, self.controller_host, self.fencing)
 
+        # Default database topology (§4.1): a replicated KV cluster —
+        # primary + synchronous replica on separate hosts — watched by
+        # the controller's failover monitor.  ``system.db`` resolves to
+        # the *current* primary, so failure levers and oracles keep
+        # working across an automatic promotion.
         self.db_host = self.network.add_host("db", "10.254.0.1")
-        self.db = KvServer(self.engine, self.db_host)
+        self.db_replica_host = self.network.add_host("db-replica", "10.254.0.2")
+        self.db_cluster = ReplicatedKvCluster(
+            self.engine, self.db_host, self.db_replica_host
+        )
+        self._kv_registry = []
+        self.controller.attach_database(self.db_cluster, self._on_db_failover)
         self.remote_db_spec = remote_db
         self.remote_db = None
         self.remote_db_host = None
@@ -119,6 +130,34 @@ class TensorSystem:
     def trace_store(self):
         """The tracer's span store, or None when tracing is off."""
         return self.tracer.store if self.tracer is not None else None
+
+    @property
+    def db(self):
+        """The cluster's current primary KV server."""
+        return self.db_cluster.primary
+
+    # ------------------------------------------------------------------
+    # database clients / failover
+    # ------------------------------------------------------------------
+
+    def kv_client(self, host):
+        """An epoch-aware KV client on the current primary, registered
+        for controller repoint pushes on failover."""
+        client = KvClient(
+            self.engine,
+            host,
+            self.db_cluster.primary_addr,
+            self.db_cluster.port,
+            epoch=self.db_cluster.epoch,
+        )
+        self._kv_registry.append(client)
+        return client
+
+    def _on_db_failover(self, new_addr, epoch):
+        # Push the new endpoint to every registered client over the
+        # management network (one gRPC-ish hop each).
+        for client in self._kv_registry:
+            self.engine.schedule(0.002, client.repoint, new_addr, epoch)
 
     # ------------------------------------------------------------------
     # topology
@@ -310,8 +349,8 @@ class TensorPair:
             self.service_endpoint,
             TcpStackConfig(hook_technology=self.system.hook_technology),
         )
-        fast = KvClient(self.engine, container.endpoint, self.system.db_host.address)
-        bulk = KvClient(self.engine, container.endpoint, self.system.db_host.address)
+        fast = self.system.kv_client(container.endpoint)
+        bulk = self.system.kv_client(container.endpoint)
         self._kv_clients = [fast, bulk]
         remote_client = None
         remote_mode = "sync"
@@ -528,9 +567,7 @@ class TensorPair:
     # ------------------------------------------------------------------
 
     def _recover_from_db(self, record, on_done):
-        recovery_client = KvClient(
-            self.engine, self.active_container.endpoint, self.system.db_host.address
-        )
+        recovery_client = self.system.kv_client(self.active_container.endpoint)
         self._kv_clients.append(recovery_client)
         recovery = BackupRecovery(self.engine, recovery_client, self.name)
         estimated = max(self.config_entries, 64)

@@ -58,6 +58,11 @@ CORPUS_SEEDS = (0, 1, 2, 3, 4, 5)
 #: closed, straight from the trace store.
 TRACED_CORPUS_SEEDS = (6, 7, 8, 9)
 
+#: Seeds run with a permanent KV-primary kill spliced in (DESIGN.md
+#: §12): the controller's failover monitor must promote the replica and
+#: drain held ACKs with no test-side intervention.
+DB_FAILOVER_CORPUS_SEEDS = (10, 11, 12)
+
 
 class ChaosSchedule:
     """One self-contained chaos run: topology knobs + timed events.
@@ -122,8 +127,14 @@ class ChaosSchedule:
 # generation
 # ----------------------------------------------------------------------
 
-def generate_schedule(seed):
-    """Derive a schedule from ``seed`` (pure function, no simulation)."""
+def generate_schedule(seed, db_failover=False):
+    """Derive a schedule from ``seed`` (pure function, no simulation).
+
+    ``db_failover`` splices one permanent KV-primary kill into the
+    schedule, drawn from a *separate* named stream so the base schedule
+    for the seed is unchanged — seed N with and without the flag differ
+    only by the added injection.
+    """
     r = DeterministicRandom(seed).stream("schedule")
     neighbors = r.choice((1, 2, 2, 3))
     shared_vrf = neighbors > 1 and r.random() < 0.6
@@ -180,6 +191,14 @@ def generate_schedule(seed):
         elif kind == "database_blip":
             event["duration"] = round(r.uniform(0.4, 1.2), 3)
         injections.append(event)
+    if db_failover:
+        dbr = DeterministicRandom(seed).stream("db-failover")
+        injections.append({
+            "at": round(dbr.uniform(2.0, last_hard + 6.0), 3),
+            "scenario": "database_failover",
+            "target": None,
+            "duration": None,
+        })
     injections.sort(key=lambda event: event["at"])
 
     # -- workload bursts ---------------------------------------------------
@@ -460,6 +479,8 @@ def _fire_injection(injector, system, pair, suite, event):
         injector.transient_host_network_failure(machine, event["duration"])
     elif kind == "database_blip":
         injector.transient_database_failure(event["duration"])
+    elif kind == "database_failover":
+        injector.database_failover()
     elif kind == "agent":
         injector.agent_failure()
     else:
@@ -500,7 +521,9 @@ class ChaosShardProgram:
         schedule = (
             ChaosSchedule.from_dict(schedule_data)
             if schedule_data is not None
-            else generate_schedule(params["seed"])
+            else generate_schedule(
+                params["seed"], db_failover=params.get("db_failover", False)
+            )
         )
         self.prepared = _PreparedRun(
             schedule,
@@ -540,7 +563,8 @@ def build_chaos_shard(shard_id, params, boundary):
     return ChaosShardProgram(shard_id, params, boundary)
 
 
-def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False):
+def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False,
+                       db_failover=False):
     """ShardSpecs running one chaos seed per shard (all closed shards)."""
     from repro.sim.parallel.runtime import ShardSpec
 
@@ -548,17 +572,21 @@ def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False):
         ShardSpec(
             f"chaos{seed}",
             "repro.failures.chaos:build_chaos_shard",
-            params={"seed": seed, "hold_acks": hold_acks, "tracing": tracing},
+            params={"seed": seed, "hold_acks": hold_acks, "tracing": tracing,
+                    "db_failover": db_failover},
         )
         for seed in seeds
     ]
 
 
-def chaos_corpus_horizon(seeds=CORPUS_SEEDS):
+def chaos_corpus_horizon(seeds=CORPUS_SEEDS, db_failover=False):
     """A run duration covering every seed's deadline under the parallel
     runner's shared clock (schedule generation is pure, so this is
     cheap and exact)."""
-    return max(generate_schedule(seed).duration for seed in seeds) + 1.0
+    return max(
+        generate_schedule(seed, db_failover=db_failover).duration
+        for seed in seeds
+    ) + 1.0
 
 
 # ----------------------------------------------------------------------
@@ -746,13 +774,16 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
 # CLI: python -m repro.failures.chaos
 # ----------------------------------------------------------------------
 
-def _run_one(seed, hold_acks=True, out_dir=".", tracing=False):
-    schedule = generate_schedule(seed)
+def _run_one(seed, hold_acks=True, out_dir=".", tracing=False,
+             db_failover=False):
+    schedule = generate_schedule(seed, db_failover=db_failover)
     result = run_schedule(schedule, hold_acks=hold_acks, tracing=tracing)
     if result.first_violation is None:
         traced = "traced, " if tracing else ""
+        failover = "db-failover, " if db_failover else ""
         print(
-            f"seed {seed}: ok ({traced}{len(schedule.injections)} injections,"
+            f"seed {seed}: ok ({traced}{failover}"
+            f"{len(schedule.injections)} injections,"
             f" {len(schedule.workload)} bursts, {schedule.neighbors} neighbors,"
             f" {schedule.duration:.0f}s virtual)"
         )
@@ -793,16 +824,18 @@ def main(argv=None):
         return 0 if _run_one(args.seed, out_dir=args.out) else 1
 
     if args.corpus:
-        seeds = [(seed, False) for seed in CORPUS_SEEDS]
-        seeds += [(seed, True) for seed in TRACED_CORPUS_SEEDS]
+        seeds = [(seed, False, False) for seed in CORPUS_SEEDS]
+        seeds += [(seed, True, False) for seed in TRACED_CORPUS_SEEDS]
+        seeds += [(seed, False, True) for seed in DB_FAILOVER_CORPUS_SEEDS]
     else:
         seeds = [
-            (seed, False)
+            (seed, False, False)
             for seed in range(args.seeds if args.seeds is not None else 10)
         ]
     failures = 0
-    for seed, tracing in seeds:
-        if not _run_one(seed, out_dir=args.out, tracing=tracing):
+    for seed, tracing, db_failover in seeds:
+        if not _run_one(seed, out_dir=args.out, tracing=tracing,
+                        db_failover=db_failover):
             failures += 1
     total = len(seeds)
     print(f"{total - failures}/{total} seeds passed")

@@ -141,10 +141,27 @@ class FailureInjector:
         and write batches retry; a blip shorter than the retry budget
         (``WRITE_RETRIES`` x the client RPC timeout) commits everything
         once the store returns, so NSR state is never lost.
+
+        The blip is deliberately shorter than the failover monitor's
+        confirmation window, so it recovers in place.  The server object
+        is captured now: were the recovery scheduled against
+        ``system.db`` (a property), a failover landing mid-blip would
+        aim it at the *promoted* primary instead of the blipped one.
         """
         injection = self._record("database", "db")
-        self.system.db.fail()
-        self.engine.schedule(duration, self.system.db.recover)
+        server = self.system.db
+        server.fail()
+        self.engine.schedule(duration, server.recover)
+        return injection
+
+    def database_failover(self):
+        """Permanently kill the KV primary (§4.1 single-point database
+        failure).  No scheduled recovery and no test-side promotion: the
+        controller's monitor must detect the death, promote the replica
+        under the next epoch and repoint every client — ``permanent=True``
+        keeps an overlapping blip's recovery from resurrecting it."""
+        injection = self._record("database_failover", "db")
+        self.system.db_cluster.fail_primary(permanent=True)
         return injection
 
     def agent_failure(self):

@@ -5,12 +5,22 @@ failed server or a partition surfaces as the ``on_error`` callback after
 the timeout — the BGP process treats that as "replication unavailable"
 and keeps ACKs held, which is the fail-safe direction (§3.1.1: releasing
 an ACK before replication is the inconsistency to avoid).
+
+``on_error(method, cause)`` carries a structured cause so callers can
+react differently to a slow/partitioned endpoint (``CAUSE_TIMEOUT``), a
+dead-but-reachable one (``CAUSE_REFUSED``: fail fast, retry) and a
+fenced write (``CAUSE_FENCED``: this endpoint was demoted — hold the
+write and wait for the controller's repoint push).
 """
 
-from repro.kvstore.server import KV_PORT
+from repro.kvstore.server import KV_PORT, WRITE_METHODS
 from repro.sim.rpc import RpcClient
 
 DEFAULT_TIMEOUT = 1.0
+
+CAUSE_TIMEOUT = "timeout"
+CAUSE_REFUSED = "refused"
+CAUSE_FENCED = "fenced"
 
 
 def _ignore_reply(_rep):
@@ -18,24 +28,72 @@ def _ignore_reply(_rep):
 
 
 class KvClient:
-    """Asynchronous client bound to one KV endpoint."""
+    """Asynchronous client bound to one KV endpoint.
 
-    def __init__(self, engine, host, server_addr, server_port=KV_PORT):
+    When created through :meth:`TensorSystem.kv_client` the client is
+    epoch-aware: writes carry the cluster epoch they were issued under,
+    and the controller's failover monitor calls :meth:`repoint` to move
+    it to the promoted primary.  ``endpoint_generation`` increments on
+    every repoint so retry loops can tell "same endpoint, still failing"
+    from "new endpoint, fresh budget".
+    """
+
+    def __init__(self, engine, host, server_addr, server_port=KV_PORT,
+                 epoch=None):
         self.engine = engine
         self.rpc = RpcClient(engine, host, server_addr, server_port)
         self.server_addr = server_addr
+        self.epoch = epoch
+        self.endpoint_generation = 0
+        self.on_repoint = None
+        self.fenced_errors = 0
+
+    def repoint(self, server_addr, epoch=None, server_port=None):
+        """Move the client to a new endpoint (controller failover push).
+
+        In-flight requests to the old endpoint fail immediately through
+        their error callbacks (cause ``refused``), so callers holding
+        state on them — the write coalescer's in-flight batch, a held
+        ACK's verify read — get to retry against the new endpoint.
+        """
+        self.server_addr = server_addr
+        if epoch is not None:
+            self.epoch = epoch
+        self.endpoint_generation += 1
+        self.rpc.retarget(server_addr, server_port)
+        if self.on_repoint is not None:
+            self.on_repoint()
 
     def _call(self, method, body, on_done, on_error, timeout):
-        # Only build the timeout closure when somebody is listening;
-        # fire-and-forget calls (pruning deletes, async remote writes)
-        # then cost one less allocation each.
+        if self.epoch is not None and method in WRITE_METHODS:
+            body["epoch"] = self.epoch
+
+        # Only build the error closures when somebody is listening;
+        # fire-and-forget calls (async remote writes) then cost one
+        # less allocation each.
         on_timeout = None
+        on_refused = None
         if on_error is not None:
             def on_timeout():
-                on_error(method)
+                on_error(method, CAUSE_TIMEOUT)
+
+            def on_refused():
+                on_error(method, CAUSE_REFUSED)
+
+        def on_reply(rep):
+            if isinstance(rep, dict) and rep.get("fenced"):
+                # The server refused to apply: our epoch is stale.  Never
+                # surface this through on_done — the caller would treat
+                # the write as durable.
+                self.fenced_errors += 1
+                if on_error is not None:
+                    on_error(method, CAUSE_FENCED)
+                return
+            on_done(rep)
 
         self.rpc.call(
-            method, body, on_reply=on_done, on_timeout=on_timeout, timeout=timeout
+            method, body, on_reply=on_reply, on_timeout=on_timeout,
+            on_refused=on_refused, timeout=timeout,
         )
 
     # -- operations --------------------------------------------------------

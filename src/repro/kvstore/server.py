@@ -37,6 +37,13 @@ class KvServer:
             engine, host, port, self._handle, service_time=self._service_time
         )
         self.failed = False
+        self._permanent = False
+        # Fencing floor: writes stamped with an older cluster epoch are
+        # rejected instead of applied.  0 means "never part of a managed
+        # cluster" — every stamped write passes (raw-server back-compat).
+        self.epoch = 0
+        self.fenced_writes = 0
+        self._resync_journal = None
 
     # -- replication wiring ----------------------------------------------
 
@@ -46,6 +53,15 @@ class KvServer:
         self._replica_client = RpcClient(
             self.engine, self.host, replica_addr, replica_port
         )
+
+    def detach_replica(self):
+        """Stop replicating (demotion: the old primary must not keep a
+        replication channel to its successor, or stale clients' writes
+        would leak into the new primary's store)."""
+        self.replica_addr = None
+        if self._replica_client is not None:
+            self._replica_client.close()
+            self._replica_client = None
 
     # -- request processing ----------------------------------------------
 
@@ -67,6 +83,16 @@ class KvServer:
     def _handle(self, method, body, respond):
         if self.failed:
             return  # dead server: requests time out at the client
+        if method in WRITE_METHODS:
+            claimed = body.get("epoch")
+            if claimed is not None and claimed < self.epoch:
+                # Stale-epoch write: the cluster moved on while this
+                # client still points here.  Reject without applying —
+                # the fence that keeps a rebooted old primary from
+                # silently diverging (DESIGN.md §12).
+                self.fenced_writes += 1
+                respond({"fenced": True, "epoch": self.epoch})
+                return
         result = self._apply(method, body)
         needs_replication = (
             method in WRITE_METHODS and self._replica_client is not None
@@ -82,7 +108,22 @@ class KvServer:
             timeout=0.5,
         )
 
+    # -- resync journal ----------------------------------------------------
+
+    def begin_resync_journal(self):
+        """Start recording writes applied here, for replay onto a replica
+        being re-synchronized (closes the snapshot()->load() lost-write
+        window)."""
+        self._resync_journal = []
+
+    def end_resync_journal(self):
+        journal = self._resync_journal or []
+        self._resync_journal = None
+        return journal
+
     def _apply(self, method, body):
+        if self._resync_journal is not None and method in WRITE_METHODS:
+            self._resync_journal.append((method, body))
         if method == "get":
             return {"value": self.store.get(body["key"])}
         if method == "mget":
@@ -103,10 +144,25 @@ class KvServer:
 
     # -- failure levers ----------------------------------------------------
 
-    def fail(self):
+    def fail(self, permanent=False):
+        """Kill the server.  ``permanent=True`` marks it beyond the reach
+        of :meth:`recover` — only an operator :meth:`reboot` brings it
+        back (a chaos blip's scheduled recovery must not resurrect a
+        primary the failover machinery already wrote off)."""
         self.failed = True
+        self._permanent = self._permanent or permanent
 
     def recover(self):
+        if self._permanent:
+            return
+        self.failed = False
+
+    def reboot(self):
+        """Operator-level restart: clears even a permanent failure.  The
+        store contents survive (RAM-intact model, consistent with
+        fail/recover); the epoch fence installed at promotion does not
+        reset, so a stale rebooted primary still rejects old writes."""
+        self._permanent = False
         self.failed = False
 
     def close(self):

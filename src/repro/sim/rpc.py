@@ -70,11 +70,46 @@ class _RpcFrame:
     __slots__ = ("kind", "req_id", "method", "body", "trace")
 
     def __init__(self, kind, req_id, method, body, trace=None):
-        self.kind = kind  # "req" | "rep"
+        self.kind = kind  # "req" | "rep" | "refused"
         self.req_id = req_id
         self.method = method
         self.body = body
         self.trace = trace
+
+
+class RefusalResponder:
+    """Models the OS answering a closed port with a reset.
+
+    A request to a host whose server process has *exited* (socket
+    unbound) should fail fast with a connection-refused error rather
+    than a timeout — the distinction the KV failover client logic needs
+    to tell a dead-but-reachable endpoint from a partition.  Installed
+    as the protocol-wide wildcard handler, so it only sees requests that
+    no bound socket claimed first.
+    """
+
+    def __init__(self, engine, host, protocol="rpc"):
+        self.engine = engine
+        self.host = host
+        self.protocol = protocol
+        self.refusals = 0
+        host.bind(protocol, None, self._on_packet)
+
+    def _on_packet(self, packet):
+        frame = packet.payload
+        if not isinstance(frame, _RpcFrame) or frame.kind != "req":
+            return
+        self.refusals += 1
+        reply = _RpcFrame("refused", frame.req_id, frame.method, None)
+        self.host.send(Packet(
+            src=self.host.address,
+            dst=packet.src,
+            protocol=self.protocol,
+            sport=packet.dport,
+            dport=packet.sport,
+            payload=reply,
+            size=64,
+        ))
 
 
 class RpcServer:
@@ -166,6 +201,8 @@ class AsyncRpcServer:
         def respond(reply_body):
             if span is not None:
                 span.finish()
+            if self.socket._closed:
+                return  # server exited mid-request (e.g. failover demotion)
             self.requests_served += 1
             reply = _RpcFrame("rep", frame.req_id, frame.method, reply_body)
             self.socket.sendto(src_addr, src_port, reply, size=_body_size(reply_body))
@@ -206,9 +243,17 @@ class RpcClient:
         self._pending = {}
         self.timeouts = 0
         self.replies = 0
+        self.refusals = 0
 
-    def call(self, method, body, on_reply, on_timeout=None, timeout=1.0):
-        """Fire a request.  Exactly one of the callbacks will run."""
+    def call(self, method, body, on_reply, on_timeout=None, timeout=1.0,
+             on_refused=None):
+        """Fire a request.  Exactly one of the callbacks will run.
+
+        ``on_refused`` fires when the endpoint actively refuses the
+        request (a :class:`RefusalResponder` answered for a closed
+        port, or :meth:`retarget` abandoned the old endpoint); without
+        it, refusals fall back to ``on_timeout``.
+        """
         req_id = next(self._req_counter)
         tracer = tracer_of(self.engine)
         if tracer.enabled:
@@ -221,19 +266,22 @@ class RpcClient:
             frame = _RpcFrame("req", req_id, method, body)
             span = None
         timer = self.engine.schedule(timeout, self._expire, req_id)
-        self._pending[req_id] = (on_reply, on_timeout, timer, span)
+        self._pending[req_id] = (on_reply, on_timeout, on_refused, timer, span)
         self.socket.sendto(
             self.server_addr, self.server_port, frame, size=_body_size(body)
         )
         return req_id
 
     def _on_frame(self, src_addr, src_port, frame):
+        if frame.kind == "refused":
+            self._refuse(frame.req_id)
+            return
         if frame.kind != "rep":
             return
         entry = self._pending.pop(frame.req_id, None)
         if entry is None:
             return  # reply after timeout: drop
-        on_reply, _on_timeout, timer, span = entry
+        on_reply, _on_timeout, _on_refused, timer, span = entry
         timer.cancel()
         self.replies += 1
         if span is not None:
@@ -244,16 +292,45 @@ class RpcClient:
         entry = self._pending.pop(req_id, None)
         if entry is None:
             return
-        _on_reply, on_timeout, _timer, span = entry
+        _on_reply, on_timeout, _on_refused, _timer, span = entry
         self.timeouts += 1
         if span is not None:
             span.finish(outcome="timeout")
         if on_timeout is not None:
             on_timeout()
 
+    def _refuse(self, req_id):
+        entry = self._pending.pop(req_id, None)
+        if entry is None:
+            return
+        on_reply_, on_timeout, on_refused, timer, span = entry
+        timer.cancel()
+        self.refusals += 1
+        if span is not None:
+            span.finish(outcome="refused")
+        if on_refused is not None:
+            on_refused()
+        elif on_timeout is not None:
+            on_timeout()
+
+    def retarget(self, server_addr, server_port=None):
+        """Point the client at a different endpoint (failover repoint).
+
+        Every in-flight request to the old endpoint is failed through
+        its refused/timeout callback *now* — silently cancelling them
+        would wedge callers (a write coalescer's in-flight flag, a held
+        ACK) waiting on a callback that never comes.
+        """
+        self.server_addr = server_addr
+        if server_port is not None:
+            self.server_port = server_port
+        abandoned = list(self._pending)
+        for req_id in abandoned:
+            self._refuse(req_id)
+
     def cancel_all(self):
         """Drop all in-flight requests without firing callbacks."""
-        for _on_reply, _on_timeout, timer, span in self._pending.values():
+        for _on_reply, _on_timeout, _on_refused, timer, span in self._pending.values():
             timer.cancel()
             if span is not None:
                 span.finish(outcome="cancelled")

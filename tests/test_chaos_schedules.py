@@ -17,6 +17,7 @@ import pytest
 
 from repro.failures.chaos import (
     CORPUS_SEEDS,
+    DB_FAILOVER_CORPUS_SEEDS,
     TRACED_CORPUS_SEEDS,
     ChaosSchedule,
     generate_schedule,
@@ -109,6 +110,39 @@ def test_traced_corpus_seed_passes_phase_latency_oracle(seed):
             assert span.attrs["from_container"] != span.attrs["to_container"]
         else:
             assert span.attrs["from_container"] == span.attrs["to_container"]
+
+
+@pytest.mark.parametrize("seed", DB_FAILOVER_CORPUS_SEEDS)
+def test_db_failover_corpus_seed_passes_all_oracles(seed):
+    """Seeds 10-12 permanently kill the KV primary mid-schedule, on top
+    of the seed's base injections.  The controller's monitor must fail
+    over on its own — nothing in the harness calls promote_replica —
+    with every NSR oracle green: no ack-durability violation, held ACKs
+    drain inside the liveness streak limit."""
+    schedule = generate_schedule(seed, db_failover=True)
+    assert any(e["scenario"] == "database_failover"
+               for e in schedule.injections)
+    result = run_schedule(schedule)
+    assert result.first_violation is None, result.summary()
+    assert result.system.db_cluster.failovers == 1
+    assert result.system.db_cluster.epoch == 2
+    assert any(kind == "database-failover"
+               for _t, kind, _d in result.system.controller.events)
+
+
+def test_db_failover_flag_leaves_base_schedule_intact():
+    """The failover injection draws from its own named stream: the rest
+    of the schedule must be bit-identical with and without the flag, so
+    the corpus seeds keep regressing exactly what they always did."""
+    for seed in DB_FAILOVER_CORPUS_SEEDS:
+        base = generate_schedule(seed).to_dict()
+        augmented = generate_schedule(seed, db_failover=True).to_dict()
+        stripped = dict(augmented)
+        stripped["injections"] = [
+            e for e in augmented["injections"]
+            if e["scenario"] != "database_failover"
+        ]
+        assert stripped == base
 
 
 def test_trace_survives_primary_to_backup_migration():

@@ -172,9 +172,9 @@ def test_failed_server_times_out(kv):
     server.fail()
     outcomes = []
     client.set("k", b"v", on_done=lambda: outcomes.append("ok"),
-               on_error=lambda m: outcomes.append("error"), timeout=0.3)
+               on_error=lambda m, cause: outcomes.append(cause), timeout=0.3)
     engine.run_until_idle()
-    assert outcomes == ["error"]
+    assert outcomes == ["timeout"]
 
 
 def test_recovered_server_serves_again(kv):
@@ -239,5 +239,6 @@ def test_resync_replica_bulk_copies(cluster):
     client.set("k", "v", on_done=lambda: None)
     engine.run_until_idle()
     cluster.replica.store.load({})  # wipe the replica
-    cluster.resync_replica()
+    cluster.resync_replica()  # timed copy: completes after the engine runs
+    engine.run_until_idle()
     assert cluster.replica.store.get("k") == "v"

@@ -43,6 +43,17 @@ def chaos_run(workers):
     )
 
 
+DB_FAILOVER_SEEDS = (10, 11)
+
+
+@functools.lru_cache(maxsize=None)
+def db_failover_run(workers):
+    specs = chaos_corpus_specs(DB_FAILOVER_SEEDS, db_failover=True)
+    return ParallelRunner(specs, workers=workers).run(
+        chaos_corpus_horizon(DB_FAILOVER_SEEDS, db_failover=True)
+    )
+
+
 # ----------------------------------------------------------------------
 # fleet workload: traced, cross-shard BGP ring
 # ----------------------------------------------------------------------
@@ -82,6 +93,18 @@ def test_chaos_corpus_verdicts_identical_across_worker_counts():
     sequential, sharded = chaos_run(1), chaos_run(4)
     assert sequential.shard_results == sharded.shard_results
     for seed in CHAOS_SEEDS:
+        verdict = sequential.shard_results[f"chaos{seed}"]["verdict"]
+        assert verdict == "all oracles passed"
+
+
+def test_db_failover_chaos_identical_across_worker_counts():
+    """The automatic-failover machinery (monitor pings, promotion,
+    client repoints, retry backoff) is all virtual-time events; sharding
+    must not perturb any of it — verdicts and RIBs stay bit-identical
+    and every seed fails over exactly once, cleanly."""
+    sequential, sharded = db_failover_run(1), db_failover_run(4)
+    assert sequential.shard_results == sharded.shard_results
+    for seed in DB_FAILOVER_SEEDS:
         verdict = sequential.shard_results[f"chaos{seed}"]["verdict"]
         assert verdict == "all oracles passed"
 
