@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
 SEEDS ?= 25
 
-.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile parallel-smoke kv-failover chaos chaos-corpus chaos-ablation trace-demo verify
+.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -40,6 +40,11 @@ bench-gate:
 # receive path and the parallel fleet workload.
 profile:
 	$(PYTHON) benchmarks/profile_hotspots.py
+
+# Parallel fleet only, plus the coordinator's compute / barrier-wait /
+# dispatch / serialization split (the time_split in BENCH_parallel.json).
+profile-parallel:
+	$(PYTHON) benchmarks/profile_hotspots.py --parallel
 
 # Two-site fleet, workers=1 vs workers=2: results must be bit-identical.
 parallel-smoke:

@@ -22,12 +22,23 @@ Speedup is reported two ways:
 ``cpu_count`` is recorded in the JSON so a baseline moved between hosts
 stays interpretable.
 
+The adaptive-lookahead window protocol (DESIGN.md §11) is gated here
+too: ``window_stats.quiet_window_reduction`` is the factor by which the
+adaptive runtime shrinks the barrier count over the virtual span it
+covered with wide windows, versus the fixed-lookahead protocol that
+would have diced that same span into ``span / L`` barriers.  The bench
+fails if the reduction drops below 10x.  ``time_split`` breaks each
+run's wall into compute / barrier-wait / dispatch / serialization so
+window-protocol regressions are attributable, and ``transport`` counts
+cross-shard frames, batches and encoded bytes.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_parallel_fleet.py [--quick]
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 from pathlib import Path
@@ -45,6 +56,9 @@ ROUTES = 40
 DURATION = 25.0
 WORKER_COUNTS = (1, 2, 4)
 
+#: floor on window_stats.quiet_window_reduction enforced below
+QUIET_REDUCTION_FLOOR = 10.0
+
 
 def _specs(quick=False):
     if quick:
@@ -52,6 +66,29 @@ def _specs(quick=False):
                                 churn_ticks=2)
     return fleet_site_specs(SITES, pairs=PAIRS, routes=ROUTES,
                             border_routes=20, churn_ticks=3)
+
+
+def _window_stats(result):
+    """Adaptive-window effectiveness, from the reference run.
+
+    ``fixed_equiv`` is the barrier count a fixed-lookahead runtime needs
+    for the whole duration; ``quiet_fixed_equiv`` is its share for the
+    virtual span the adaptive runtime covered with wide windows, and
+    ``quiet_window_reduction`` divides that by the wide-window count —
+    the factor the adaptive protocol saves during quiet phases.
+    """
+    wide_count, wide_span = result.wide_windows()
+    lookahead = result.lookahead or DURATION
+    quiet_fixed_equiv = math.ceil(wide_span / lookahead)
+    reduction = quiet_fixed_equiv / wide_count if wide_count else 0.0
+    return {
+        "windows": result.windows,
+        "fixed_equiv": math.ceil(DURATION / lookahead),
+        "wide_windows": wide_count,
+        "wide_span_s": round(wide_span, 3),
+        "quiet_fixed_equiv": quiet_fixed_equiv,
+        "quiet_window_reduction": round(reduction, 1),
+    }
 
 
 def main(argv=None):
@@ -63,27 +100,49 @@ def main(argv=None):
     runs = {}
     reference = None
     for workers in WORKER_COUNTS:
-        result = ParallelRunner(_specs(args.quick), workers=workers).run(
-            DURATION
-        )
+        result = ParallelRunner(
+            _specs(args.quick), workers=workers,
+            projection_workers=WORKER_COUNTS,
+        ).run(DURATION)
         runs[workers] = result
         if reference is None:
             reference = result
         containers = sum(
             r["containers"] for r in result.shard_results.values()
         )
+        timing = result.timing
         print(
             f"workers={workers}: wall={result.wall:6.2f}s"
             f"  windows={result.windows}  events={result.executed}"
             f"  containers={containers}"
         )
+        print(
+            f"  split: compute={timing['compute_s']:.2f}s"
+            f"  barrier_wait={timing['barrier_wait_s']:.2f}s"
+            f"  dispatch={timing['barrier_send_s']:.2f}s"
+            f"  serialize={timing['serialize_s']:.2f}s"
+            f"  | transport: {result.transport['frames']} frames"
+            f" / {result.transport['batches']} batches"
+            f" / {result.transport['bytes']} bytes"
+        )
 
     determinism_ok = all(
         runs[w].shard_results == reference.shard_results
+        and runs[w].window_edges == reference.window_edges
         for w in WORKER_COUNTS
     )
     print(f"determinism: {'ok' if determinism_ok else 'FAILED'}"
-          f" (identical shard results across worker counts)")
+          f" (identical shard results and window sequence across worker"
+          f" counts)")
+
+    window_stats = _window_stats(reference)
+    print(
+        f"windows: {window_stats['windows']} adaptive"
+        f" vs {window_stats['fixed_equiv']} fixed-equivalent"
+        f"  (quiet-phase reduction"
+        f" {window_stats['quiet_window_reduction']:.1f}x over"
+        f" {window_stats['wide_span_s']:.1f}s of wide windows)"
+    )
 
     # critical-path projection from the sequential run's measured busy
     # times: same partition, perfect cores, no IPC
@@ -123,6 +182,17 @@ def main(argv=None):
                  for w in WORKER_COUNTS},
         "projected_wall": {f"workers_{w}": round(projected[w], 3)
                            for w in WORKER_COUNTS},
+        "window_stats": window_stats,
+        "time_split": {
+            f"workers_{w}": {
+                key: round(value, 4)
+                for key, value in runs[w].timing.items()
+            }
+            for w in WORKER_COUNTS
+        },
+        "transport": {
+            f"workers_{w}": dict(runs[w].transport) for w in WORKER_COUNTS
+        },
         "measured_speedup_4w": round(measured_speedup, 2),
         "projected_speedup_4w": round(projected_speedup, 2),
         "determinism_ok": determinism_ok,
@@ -132,6 +202,13 @@ def main(argv=None):
         print(f"wrote {OUT_PATH.name}")
 
     if not determinism_ok:
+        return 1
+    if window_stats["quiet_window_reduction"] < QUIET_REDUCTION_FLOOR:
+        print(
+            f"quiet-window reduction FAILED:"
+            f" {window_stats['quiet_window_reduction']:.1f}x"
+            f" < {QUIET_REDUCTION_FLOOR:.0f}x"
+        )
         return 1
     floor = measured_speedup if cpu_count >= 4 else projected_speedup
     if floor < 2.0:

@@ -29,7 +29,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _validate_parallel(fresh):
+def _validate_parallel(fresh, baseline):
     """Parallel-suite invariants beyond raw throughput.
 
     Determinism must hold outright.  The >= 2x speedup floor applies to
@@ -37,13 +37,26 @@ def _validate_parallel(fresh):
     hosts the OS serializes the workers, so the floor applies to the
     critical-path projection computed from measured per-shard compute
     (see bench_parallel_fleet.py).  ``cpu_count`` in the JSON records
-    which regime produced a committed baseline.
+    which regime produced a committed baseline — a multi-core host must
+    not quietly gate its measured numbers against a baseline that was
+    generated (and ratcheted) on a smaller machine, so that mismatch is
+    an explicit failure with a re-baseline instruction, not a silent
+    apples-to-oranges comparison.
     """
     failures = []
     if not fresh.get("determinism_ok", False):
         failures.append("determinism_ok is false: workers=1 vs workers=N "
                         "shard results diverged")
     cores = os.cpu_count() or 1
+    baseline_cores = (baseline or {}).get("cpu_count")
+    if cores >= 4 and baseline_cores is not None and baseline_cores < 4:
+        failures.append(
+            f"baseline BENCH_parallel.json was generated on a "
+            f"{baseline_cores}-core host but this host has {cores} cores: "
+            f"measured speedups are not comparable — re-run "
+            f"`make bench-parallel` on this host and commit the "
+            f"regenerated BENCH_parallel.json to re-baseline"
+        )
     if cores >= 4:
         speedup = fresh.get("measured_speedup_4w", 0.0)
         label = "measured"
@@ -56,10 +69,21 @@ def _validate_parallel(fresh):
         )
     else:
         print(f"  speedup floor: {speedup:.2f}x {label}  ok")
+    quiet = fresh.get("window_stats", {}).get("quiet_window_reduction")
+    if quiet is None:
+        failures.append("window_stats.quiet_window_reduction missing from "
+                        "BENCH_parallel.json (re-run make bench-parallel)")
+    elif quiet < 10.0:
+        failures.append(
+            f"adaptive windows: quiet-phase reduction {quiet:.1f}x < 10x "
+            f"vs the fixed-lookahead protocol"
+        )
+    else:
+        print(f"  quiet-window reduction: {quiet:.1f}x  ok")
     return failures
 
 
-def _validate_failover(fresh):
+def _validate_failover(fresh, baseline):
     """Failover-suite invariants beyond the throughput ratchet.
 
     The drain budget is absolute: whatever the baseline says, a recovery
@@ -174,7 +198,7 @@ def check_suite(name, suite, skip_run, baseline_override):
           f"{baseline_override or 'committed baseline'}")
     failures = compare(baseline, fresh, suite["threshold"])
     if suite["validate"] is not None:
-        failures.extend(suite["validate"](fresh))
+        failures.extend(suite["validate"](fresh, baseline))
     return failures
 
 

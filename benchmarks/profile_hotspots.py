@@ -13,8 +13,16 @@ and prints the top-25 cumulative-time functions for each:
 Deterministic workloads, so two profiles of the same tree are directly
 comparable; use this to aim optimization work before touching code.
 
+``--parallel`` (``make profile-parallel``) restricts the run to the
+parallel fleet workload and prints the coordinator's timing split
+(compute vs barrier-wait vs dispatch vs serialization) alongside the
+profile — the same split ``make bench-parallel`` records under
+``time_split`` in BENCH_parallel.json — so window-protocol overhead can
+be attributed before reading a single profiler row.
+
 Usage:
     PYTHONPATH=src python benchmarks/profile_hotspots.py [--top N]
+        [--parallel]
 """
 
 import argparse
@@ -43,7 +51,8 @@ def profile_parallel_fleet():
 
     specs = fleet_site_specs(4, pairs=2, routes=20, border_routes=10,
                              churn_ticks=2)
-    ParallelRunner(specs, workers=1).run(25.0)
+    result = ParallelRunner(specs, workers=1).run(25.0)
+    return result
 
 
 WORKLOADS = (
@@ -52,21 +61,44 @@ WORKLOADS = (
 )
 
 
+def _print_timing_split(result):
+    timing = result.timing
+    wall = timing.get("wall_s") or 1.0
+    print(f"\ncoordinator timing split"
+          f" ({result.windows} windows, wall {wall:.2f}s):")
+    for key in ("compute_s", "barrier_wait_s", "barrier_send_s",
+                "serialize_s"):
+        value = timing.get(key, 0.0)
+        print(f"  {key:16s} {value:8.3f}s  ({value / wall:5.1%} of wall)")
+    transport = result.transport
+    print(f"  transport        {transport['frames']} frames"
+          f" / {transport['batches']} batches / {transport['bytes']} bytes")
+
+
 def run_profile(title, workload, top):
     print(f"\n=== {title}: top {top} by cumulative time ===")
     profiler = cProfile.Profile()
     profiler.enable()
-    workload()
+    result = workload()
     profiler.disable()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return result
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--top", type=int, default=TOP_DEFAULT,
                         help=f"rows per workload (default {TOP_DEFAULT})")
+    parser.add_argument("--parallel", action="store_true",
+                        help="profile only the parallel fleet workload and"
+                             " print the coordinator timing split")
     args = parser.parse_args(argv)
+    if args.parallel:
+        result = run_profile("parallel fleet (4 sites, workers=1)",
+                             profile_parallel_fleet, args.top)
+        _print_timing_split(result)
+        return 0
     for title, workload in WORKLOADS:
         run_profile(title, workload, args.top)
     return 0

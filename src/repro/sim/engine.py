@@ -5,6 +5,7 @@ seconds.  Events scheduled for the same instant fire in scheduling order
 (FIFO), which keeps every simulation in this repository deterministic.
 """
 
+import contextlib
 import heapq
 import itertools
 import math
@@ -31,7 +32,8 @@ class Event:
     for the same instant open a fresh, later slot.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "members", "ctx")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "members",
+                 "ctx", "scope", "fired")
 
     def __init__(self, time, seq, callback, args):
         self.time = time
@@ -41,6 +43,8 @@ class Event:
         self.cancelled = False
         self.members = None  # later events chained onto this heap slot
         self.ctx = None  # ambient trace span captured at schedule time
+        self.scope = None  # ambient event scope captured at schedule time
+        self.fired = False
 
     def cancel(self):
         """Prevent the event from firing.  Safe to call multiple times."""
@@ -74,6 +78,8 @@ class Engine:
         self._slots = {}  # time -> open (not yet firing) heap Event
         self._trace_hook = None  # a repro.trace.Tracer when tracing is on
         self._named_counters = {}  # name -> itertools.count (see next_id)
+        self._ambient_scope = None  # event scope applied to new schedules
+        self._scope_heaps = {}  # scope -> [Event] heap of tagged events
 
     def next_id(self, name, start=0):
         """Next value of the named monotonic counter scoped to *this* engine.
@@ -119,6 +125,13 @@ class Engine:
         hook = self._trace_hook
         if hook is not None and hook.current is not None:
             event.ctx = hook.current
+        scope = self._ambient_scope
+        if scope is not None:
+            event.scope = scope
+            heap = self._scope_heaps.get(scope)
+            if heap is None:
+                heap = self._scope_heaps[scope] = []
+            heapq.heappush(heap, event)
         head = self._slots.get(time)
         if head is not None:
             # Same instant already queued: chain onto its slot (O(1)).
@@ -139,6 +152,56 @@ class Engine:
         """Schedule ``callback(*args)`` at the current instant (after the
         currently-firing event and anything already queued for now)."""
         return self.schedule(0.0, callback, *args)
+
+    @contextlib.contextmanager
+    def scoped(self, scope):
+        """Tag every event scheduled inside the ``with`` block with ``scope``.
+
+        Scopes propagate transitively: when a scoped event fires, the
+        scope becomes ambient again, so events its callback schedules are
+        tagged too.  The closure of a scope is therefore everything
+        causally downstream of the schedules made under it (plus any
+        later explicit ``scoped`` blocks).  Used by the parallel runtime
+        to track the *outbound-capable* subset of a shard's events — see
+        :meth:`next_event_time` and ``repro.sim.parallel``.
+        """
+        previous = self._ambient_scope
+        self._ambient_scope = scope
+        try:
+            yield
+        finally:
+            self._ambient_scope = previous
+
+    def next_event_time(self, scope=None):
+        """Earliest pending event time, or ``None`` when nothing is queued.
+
+        With ``scope=None`` this peeks the global queue (skipping events
+        that are cancelled and carry no live slot members, exactly like
+        the run loop's lazy pop).  With a scope token it answers for the
+        events tagged by :meth:`scoped` only — the earliest instant at
+        which anything inside that scope can happen.  Both forms are
+        O(amortized 1): stale heap heads are discarded as they are seen.
+        """
+        if scope is not None:
+            heap = self._scope_heaps.get(scope)
+            while heap:
+                head = heap[0]
+                if head.fired or head.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                return head.time
+            return None
+        queue = self._queue
+        slots = self._slots
+        while queue:
+            head = queue[0]
+            if head.cancelled and head.members is None:
+                heapq.heappop(queue)
+                if slots.get(head.time) is head:
+                    del slots[head.time]
+                continue
+            return head.time
+        return None
 
     def stop(self):
         """Stop a running :meth:`run` loop after the current event."""
@@ -166,6 +229,7 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        entry_scope = self._ambient_scope
         executed = 0
         try:
             while self._queue:
@@ -190,6 +254,8 @@ class Engine:
                     del slots[event.time]
                 self._now = event.time
                 if not event.cancelled:
+                    event.fired = True
+                    self._ambient_scope = event.scope
                     hook = self._trace_hook
                     if hook is not None and event.ctx is not None:
                         hook.current = event.ctx
@@ -211,6 +277,8 @@ class Engine:
                         index += 1
                         if member.cancelled:
                             continue
+                        member.fired = True
+                        self._ambient_scope = member.scope
                         hook = self._trace_hook
                         if hook is not None and member.ctx is not None:
                             hook.current = member.ctx
@@ -221,6 +289,9 @@ class Engine:
                         executed += 1
         finally:
             self._running = False
+            # fired events made their scope ambient; don't leak the last
+            # one into schedules made after the loop (e.g. at barriers)
+            self._ambient_scope = entry_scope
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return executed

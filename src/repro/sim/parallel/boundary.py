@@ -89,6 +89,12 @@ class ShardBoundary:
         self._seq = 0
         self.frames_exported = 0
         self.frames_injected = 0
+        #: Event scope (see ``Engine.scoped``) applied to injected frames.
+        #: A program that narrows its ``next_outbound_time()`` to a scope
+        #: must set this to the same token, so the causal closure of
+        #: inbound cross-shard traffic stays inside the scope and the
+        #: adaptive-lookahead safety argument holds (DESIGN.md §11).
+        self.inject_scope = None
 
     def lookahead(self):
         """Minimum cross-shard latency, or None when the shard is closed
@@ -158,6 +164,12 @@ class ShardBoundary:
         — and hence their interleaving with same-instant local events —
         are independent of worker placement and arrival batching.
         """
+        if self.inject_scope is not None:
+            with engine.scoped(self.inject_scope):
+                for frame in sorted(frames, key=MERGE_KEY):
+                    self.frames_injected += 1
+                    engine.inject(frame.arrival_time, self._deliver, frame.packet)
+            return
         for frame in sorted(frames, key=MERGE_KEY):
             self.frames_injected += 1
             engine.inject(frame.arrival_time, self._deliver, frame.packet)

@@ -5,21 +5,40 @@ universes declared by :class:`ShardSpec` — either sequentially in the
 calling process (``workers=1``) or spread over OS worker processes
 (``workers=N``, spawn-safe).  Shards interact only through declared
 :class:`~repro.sim.parallel.boundary.BoundaryLink` edges, and execution
-proceeds in global lookahead windows:
+proceeds in global *adaptive* lookahead windows.
 
-    lookahead L = min cross-shard link latency
-    window k   = virtual time (t0 + k*L, t0 + (k+1)*L]
+With ``L = min`` cross-shard link latency, any frame sent at local time
+``t`` arrives no earlier than ``t + L``.  The classic fixed protocol
+runs every shard in lockstep windows of width ``L``; that is safe but
+wasteful when no cross-shard traffic is brewing.  Instead, each shard
+reports at every barrier its **earliest next outbound-capable event
+time** — the earliest instant at which anything that could cause a
+cross-shard send can happen (see ``_ShardHost.next_outbound_time``).
+The coordinator computes
 
-Any frame sent during window k arrives no earlier than its send instant
-plus L, i.e. strictly after the window's end — so exchanging mailboxes
-only at window barriers never delivers a frame into a shard's past.
-Inbound frames are merged with the deterministic order
-``(arrival_time, src_shard, seq)`` before the next window runs, which
-makes every shard's event sequence a pure function of the scenario and
-seed: ``workers=1`` and ``workers=N`` produce bit-identical shard
-states.  A shard with no links (a *closed* shard) free-runs to the
-horizon in a single window, which is exactly the unsharded execution —
-the single-process code path is unchanged and remains the default.
+    T = min(reported next-outbound times, pending frame arrivals)
+    horizon = min(until, T + L)
+
+and runs one window to the horizon.  Every send inside the window
+happens at a time >= T, so every exported frame arrives at >= T + L,
+i.e. at or after the next barrier — the protocol stays strictly
+conservative while issuing windows far wider than ``L`` whenever the
+boundary is quiet (during bursts ``T`` hugs the barrier and windows
+fall back to width ``L``).  Because the horizon is a pure function of
+shard state, ``workers=1`` and ``workers=N`` still execute identical
+window sequences and produce bit-identical shard states.  Frames are
+merged at barriers in the deterministic order
+``(arrival_time, src_shard, seq)`` exactly as before.  A shard with no
+links (a *closed* shard) reports no outbound-capable time and
+free-runs to the horizon.
+
+Cross-shard frame batches are encoded **once** in the sending worker
+(a compact pickle blob per destination shard), routed through the
+coordinator as opaque bytes, and decoded once in the receiving worker
+— the coordinator never re-pickles frame payloads.  Each barrier costs
+exactly one message pair per worker: frame delivery rides the ``run``
+dispatch, and a worker whose window executed nothing acknowledges with
+a tiny constant message.
 
 Scenario contract
 -----------------
@@ -38,10 +57,22 @@ engine's) — e.g. to interleave oracle checks — plus an optional
 *with* cross-shard links must not send cross-shard traffic while
 building (do timed setup via scheduled events); closed shards may
 advance freely during build (e.g. to converge a topology).
+
+A program may additionally define ``next_outbound_time() -> float|None``
+to narrow the adaptive-lookahead bound below "earliest pending event
+anywhere" (the sound default).  The contract is strict: *every* event
+that can transitively cause a cross-shard send must be at or after the
+reported time.  The usual implementation tags the outbound-capable
+subsystem with ``Engine.scoped`` and returns
+``engine.next_event_time(scope)``; inbound frames must then be injected
+under the same scope (``boundary.inject_scope``).  The runtime verifies
+the contract at every barrier: a frame arriving inside the window that
+produced it fails the run loudly instead of corrupting determinism.
 """
 
 import importlib
 import multiprocessing
+import pickle
 import time
 import traceback
 
@@ -94,8 +125,20 @@ class _ShardHost:
                 " never called boundary.attach(network)"
             )
         self._run_window = getattr(self.program, "run_window", None)
+        self._next_outbound = getattr(self.program, "next_outbound_time", None)
         self.busy = 0.0
         self.executed = 0
+
+    def next_outbound_time(self):
+        """Earliest instant at which this shard could emit a cross-shard
+        frame — ``None`` when it never can (closed shard, or nothing
+        queued).  Programs narrow the sound default (earliest pending
+        event anywhere) by defining ``next_outbound_time()``."""
+        if not self.spec.links:
+            return None
+        if self._next_outbound is not None:
+            return self._next_outbound()
+        return self.engine.next_event_time()
 
     def run_window(self, until, inbound):
         start = time.perf_counter()
@@ -127,29 +170,98 @@ def _build_shards(specs):
 # ----------------------------------------------------------------------
 # worker protocol (shared by the in-process and spawned executors)
 # ----------------------------------------------------------------------
+#
+#   -> ("run", w_end[, {shard_id: [batch, ...]}])   batches optional
+#   <- ("idle",)                 nothing ran, nothing changed
+#   <- ("quiet", eots)           nothing ran, but injections moved eots
+#   <- ("ran", outbound, eots, busy, executed, ser_s)
+#        outbound = {dst_shard: (count, min_arrival, batch)}
+#   -> ("finish",)  <- ("results", {shard_id: results})
+#   -> ("stop",)
+#
+# A *batch* is a worker-encoded unit the coordinator routes opaquely:
+# a pickle blob between OS processes, the raw frame list in-process.
+
+
+def _run_all(shards, w_end, inbound):
+    """Run one window over every shard; collect outbound per dst shard.
+
+    ``inbound`` maps shard_id to an already-decoded frame list.  Returns
+    ``(outbound, eots, busy, executed)`` with ``outbound`` mapping
+    dst shard to ``[frames, min_arrival]``.  Verifies the conservative
+    invariant: every exported frame must arrive at or after the window
+    end, else some shard's ``next_outbound_time()`` under-reported.
+    """
+    outbound = {}
+    eots = {}
+    busy = {}
+    executed = 0
+    for sid in sorted(shards):
+        host = shards[sid]
+        exports, elapsed, fired = host.run_window(w_end, inbound.get(sid, ()))
+        eots[sid] = host.next_outbound_time()
+        busy[sid] = elapsed
+        executed += fired
+        for dst, frames in exports.items():
+            arrival = min(frame.arrival_time for frame in frames)
+            if arrival < w_end:
+                raise SimulationError(
+                    f"shard {sid!r} exported a cross-shard frame arriving at"
+                    f" {arrival:.6f}, inside its own window ending"
+                    f" {w_end:.6f}: the shard's next_outbound_time()"
+                    " under-reported the earliest outbound-capable event"
+                    " (conservative adaptive lookahead violated)"
+                )
+            entry = outbound.get(dst)
+            if entry is None:
+                outbound[dst] = [list(frames), arrival]
+            else:
+                entry[0].extend(frames)
+                if arrival < entry[1]:
+                    entry[1] = arrival
+    return outbound, eots, busy, executed
+
 
 def _worker_main(conn, specs):
     """Entry point of a spawned worker: build shards, serve windows."""
     try:
         shards = _build_shards(specs)
-        conn.send(("ready", {sid: host.engine.now for sid, host in shards.items()}))
+        conn.send(("ready", {
+            sid: (host.engine.now, host.next_outbound_time())
+            for sid, host in shards.items()
+        }))
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "run":
-                _kind, w_end, inbound = message
-                outbound = {}
-                busy = {}
-                executed = 0
-                for sid in sorted(shards):
-                    exports, elapsed, fired = shards[sid].run_window(
-                        w_end, inbound.get(sid, ())
-                    )
-                    busy[sid] = elapsed
-                    executed += fired
-                    for dst, frames in exports.items():
-                        outbound.setdefault(dst, []).extend(frames)
-                conn.send(("ran", outbound, busy, executed))
+                w_end = message[1]
+                batches = message[2] if len(message) > 2 else None
+                ser_s = 0.0
+                inbound = {}
+                if batches:
+                    start = time.perf_counter()
+                    inbound = {
+                        sid: [frame for blob in blobs
+                              for frame in pickle.loads(blob)]
+                        for sid, blobs in batches.items()
+                    }
+                    ser_s += time.perf_counter() - start
+                outbound, eots, busy, executed = _run_all(
+                    shards, w_end, inbound
+                )
+                if executed == 0 and not outbound:
+                    # empty window: a run of quiet virtual time is
+                    # acknowledged with one constant-size message
+                    conn.send(("quiet", eots) if inbound else ("idle",))
+                    continue
+                start = time.perf_counter()
+                encoded = {
+                    dst: (len(frames), min_arrival,
+                          pickle.dumps(frames, pickle.HIGHEST_PROTOCOL))
+                    for dst, (frames, min_arrival) in outbound.items()
+                }
+                ser_s += time.perf_counter() - start
+                conn.send(("ran", encoded, eots, busy, executed, ser_s))
             elif kind == "finish":
                 for sid in sorted(shards):
                     shards[sid].finalize()
@@ -168,33 +280,54 @@ def _worker_main(conn, specs):
 
 
 class _LocalWorker:
-    """The workers=1 executor: same protocol, direct calls, no pickling."""
+    """The workers=1 executor: same protocol, direct calls, no pickling.
+
+    ``dispatch`` only stages the window; the shards run inside
+    ``collect`` so the coordinator's timing split buckets in-process
+    compute under barrier-wait, mirroring where the process executor's
+    time is spent.
+    """
 
     def __init__(self, specs):
         self.specs = specs
         self.shards = _build_shards(specs)
+        self._staged = None
 
     def ready(self):
-        return {sid: host.engine.now for sid, host in self.shards.items()}
+        return {
+            sid: (host.engine.now, host.next_outbound_time())
+            for sid, host in self.shards.items()
+        }
 
-    def run(self, w_end, inbound):
-        outbound = {}
-        busy = {}
-        executed = 0
-        for sid in sorted(self.shards):
-            exports, elapsed, fired = self.shards[sid].run_window(
-                w_end, inbound.get(sid, ())
-            )
-            busy[sid] = elapsed
-            executed += fired
-            for dst, frames in exports.items():
-                outbound.setdefault(dst, []).extend(frames)
-        return outbound, busy, executed
+    def dispatch(self, w_end, inbound):
+        self._staged = (w_end, inbound)
 
-    def finish(self):
+    def collect(self):
+        w_end, batches = self._staged
+        self._staged = None
+        inbound = {
+            sid: [frame for batch in shard_batches for frame in batch]
+            for sid, shard_batches in batches.items()
+        }
+        outbound, eots, busy, executed = _run_all(self.shards, w_end, inbound)
+        if executed == 0 and not outbound:
+            return ("quiet", eots) if inbound else ("idle",)
+        encoded = {
+            dst: (len(frames), min_arrival, frames)
+            for dst, (frames, min_arrival) in outbound.items()
+        }
+        return ("ran", encoded, eots, busy, executed, 0.0)
+
+    def send_finish(self):
         for sid in sorted(self.shards):
             self.shards[sid].finalize()
-        return {sid: self.shards[sid].results() for sid in self.shards}
+        self._staged = {
+            sid: self.shards[sid].results() for sid in self.shards
+        }
+
+    def recv_finish(self):
+        results, self._staged = self._staged, None
+        return results
 
     def close(self):
         pass
@@ -203,8 +336,9 @@ class _LocalWorker:
 class _ProcessWorker:
     """A spawned OS worker owning a subset of the shards."""
 
-    def __init__(self, specs, context):
+    def __init__(self, specs, context, join_timeout=10.0):
         self.specs = specs
+        self.join_timeout = join_timeout
         self.conn, child = multiprocessing.Pipe()
         self.process = context.Process(
             target=_worker_main, args=(child, specs), daemon=True
@@ -212,45 +346,53 @@ class _ProcessWorker:
         self.process.start()
         child.close()
 
-    def _recv(self, expect):
-        message = self.conn.recv()
+    def _recv(self, *expected):
+        try:
+            message = self.conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            self.process.join(timeout=1)
+            raise RuntimeError(
+                "parallel worker died without reporting a traceback"
+                f" (exit code {self.process.exitcode})"
+            )
         if message[0] == "error":
             raise RuntimeError(
                 f"parallel worker failed:\n{message[1]}"
             )
-        if message[0] != expect:
+        if message[0] not in expected:
             raise RuntimeError(
                 f"parallel worker protocol error: got {message[0]!r},"
-                f" expected {expect!r}"
+                f" expected one of {expected!r}"
             )
-        return message[1:]
+        return message
 
     def ready(self):
-        (nows,) = self._recv("ready")
-        return nows
+        return self._recv("ready")[1]
 
-    def send_run(self, w_end, inbound):
-        self.conn.send(("run", w_end, inbound))
+    def dispatch(self, w_end, inbound):
+        if inbound:
+            self.conn.send(("run", w_end, inbound))
+        else:
+            self.conn.send(("run", w_end))
 
-    def recv_run(self):
-        return self._recv("ran")
+    def collect(self):
+        return self._recv("idle", "quiet", "ran")
 
     def send_finish(self):
         self.conn.send(("finish",))
 
     def recv_finish(self):
-        (results,) = self._recv("results")
-        return results
+        return self._recv("results")[1]
 
     def close(self):
         try:
             self.conn.send(("stop",))
         except (BrokenPipeError, OSError):
             pass
-        self.process.join(timeout=10)
+        self.process.join(timeout=self.join_timeout)
         if self.process.is_alive():
             self.process.terminate()
-            self.process.join(timeout=10)
+            self.process.join(timeout=self.join_timeout)
         self.conn.close()
 
 
@@ -259,19 +401,57 @@ class _ProcessWorker:
 # ----------------------------------------------------------------------
 
 class ParallelResult:
-    """Outcome of one parallel (or sequential-sharded) run."""
+    """Outcome of one parallel (or sequential-sharded) run.
+
+    Per-window bookkeeping is aggregated on the fly: ``busy`` holds
+    per-shard compute totals, ``projections`` holds the critical-path
+    wall per candidate worker count (accumulated window by window during
+    the run), ``window_edges`` records only the barrier instants
+    (floats, ``windows + 1`` of them including the start), and
+    ``timing`` splits the coordinator's wall into compute, barrier-wait,
+    dispatch, and serialization seconds so regressions in the window
+    protocol are attributable.
+    """
 
     def __init__(self, specs, workers, lookahead, shard_results, windows,
-                 window_busy, busy, executed, wall):
+                 window_edges, busy, executed, wall, projections, timing,
+                 transport):
         self.specs = specs
         self.workers = workers
         self.lookahead = lookahead
         self.shard_results = shard_results
         self.windows = windows
-        self.window_busy = window_busy  # [{shard_id: seconds}] per window
+        self.window_edges = window_edges  # [t0, barrier1, ..., horizon]
         self.busy = busy  # shard_id -> total seconds of compute
         self.executed = executed
         self.wall = wall
+        self.projections = projections  # workers -> projected wall seconds
+        self.timing = dict(timing)
+        self.timing["compute_s"] = sum(busy.values())
+        self.timing["wall_s"] = wall
+        self.transport = transport  # {"frames", "batches", "bytes"}
+
+    def window_widths(self):
+        """Virtual-time width of every window, in barrier order."""
+        edges = self.window_edges
+        return [edges[i + 1] - edges[i] for i in range(len(edges) - 1)]
+
+    def wide_windows(self):
+        """``(count, virtual_seconds)`` of adaptively widened windows —
+        windows meaningfully wider than the static lookahead ``L``
+        (busy-phase windows come out at ``L`` plus a serialization
+        sliver, so the threshold is ``1.5 L``).  The virtual span they
+        cover is the portion of the run the fixed protocol would have
+        diced into ``span / L`` barriers."""
+        if self.lookahead is None:
+            return 0, 0.0
+        threshold = self.lookahead * 1.5
+        count, span = 0, 0.0
+        for width in self.window_widths():
+            if width > threshold:
+                count += 1
+                span += width
+        return count, span
 
     def projected_wall(self, workers):
         """Ideal wall-clock for ``workers`` perfectly parallel workers.
@@ -281,16 +461,17 @@ class ParallelResult:
         Ignores IPC and OS scheduling — an upper bound on achievable
         speedup for this partition, computed from *measured* per-shard
         busy time, used by the benchmark gate on hosts whose core count
-        cannot realize the parallelism physically.
+        cannot realize the parallelism physically.  Accumulated during
+        the run for the counts in ``ParallelRunner.projection_workers``.
         """
-        assignments = assign_shards(self.specs, workers)
-        total = 0.0
-        for window in self.window_busy:
-            total += max(
-                sum(window.get(spec.shard_id, 0.0) for spec in group)
-                for group in assignments
-            )
-        return total
+        try:
+            return self.projections[workers]
+        except KeyError:
+            raise SimulationError(
+                f"no projection for workers={workers}: pass"
+                f" projection_workers= to ParallelRunner (have"
+                f" {sorted(self.projections)})"
+            ) from None
 
 
 class ParallelRunner:
@@ -300,11 +481,18 @@ class ParallelRunner:
     execution); ``workers=N`` spawns ``min(N, len(specs))`` OS processes
     via the spawn-safe multiprocessing context and distributes shards
     with LPT weight balancing.  Either way the windowed barrier protocol
-    is identical, so per-shard results are bit-identical across worker
-    counts.
+    is identical — the adaptive horizon is a pure function of shard
+    state — so per-shard results are bit-identical across worker counts.
+
+    ``projection_workers`` names the worker counts whose critical-path
+    projection is accumulated during the run (default: powers of two up
+    to the shard count, plus the shard count and the configured worker
+    count).  ``worker_join_timeout`` bounds how long ``close()`` waits
+    for a worker before terminating it.
     """
 
-    def __init__(self, specs, workers=1, start_method="spawn"):
+    def __init__(self, specs, workers=1, start_method="spawn",
+                 projection_workers=None, worker_join_timeout=10.0):
         specs = list(specs)
         if not specs:
             raise SimulationError("no shards to run")
@@ -325,6 +513,38 @@ class ParallelRunner:
         self.workers = max(1, int(workers))
         self.start_method = start_method
         self.lookahead = min(latencies) if latencies else None
+        if projection_workers is None:
+            candidates = {1, 2, 4, 8, 16, 32, self.workers, len(specs)}
+            projection_workers = sorted(
+                count for count in candidates if 1 <= count <= len(specs)
+            )
+        self.projection_workers = tuple(projection_workers)
+        self.worker_join_timeout = worker_join_timeout
+
+    def _horizon(self, now, until, eots, pending_min):
+        """The next conservative barrier.
+
+        ``T = min`` over every shard's earliest outbound-capable event
+        and every undelivered frame's arrival; nothing anywhere can send
+        before ``T``, so nothing can *arrive* before ``T + L`` and every
+        shard may safely run to ``min(until, T + L)``.  With no bound at
+        all (closed shards, or a fully drained boundary) the horizon is
+        the run's end.
+        """
+        if self.lookahead is None:
+            return until
+        t = pending_min
+        for eot in eots.values():
+            if eot is not None and (t is None or eot < t):
+                t = eot
+        if t is None:
+            return until
+        if t < now:
+            # linked shards whose builders advanced their clocks apart
+            # violate the scenario contract; clamp so barriers stay
+            # monotonic rather than rewinding a shard into its past
+            t = now
+        return min(until, t + self.lookahead)
 
     def run(self, duration):
         """Execute all shards for ``duration`` virtual seconds past the
@@ -335,68 +555,100 @@ class ParallelRunner:
         else:
             context = multiprocessing.get_context(self.start_method)
             workers = [
-                _ProcessWorker(group, context)
+                _ProcessWorker(group, context, self.worker_join_timeout)
                 for group in assign_shards(self.specs, self.workers)
             ]
-        owner = {}
-        for worker in workers:
-            for spec in worker.specs:
-                owner[spec.shard_id] = worker
         try:
+            eots = {}
             t0 = 0.0
             for worker in workers:
-                t0 = max(t0, max(worker.ready().values()))
+                for sid, (clock, eot) in worker.ready().items():
+                    eots[sid] = eot
+                    t0 = max(t0, clock)
             until = t0 + duration
             now = t0
-            pending = {}  # shard_id -> [frames]
+            pending = {}  # shard_id -> [batch, ...] (opaque, worker-encoded)
+            pending_min = None  # min arrival among pending frames
             windows = 0
-            window_busy = []
+            window_edges = [t0]
             busy = {}
             executed = 0
+            transport = {"frames": 0, "batches": 0, "bytes": 0}
+            timing = {
+                "serialize_s": 0.0,
+                "barrier_send_s": 0.0,
+                "barrier_wait_s": 0.0,
+            }
+            proj_groups = {
+                count: [
+                    [spec.shard_id for spec in group]
+                    for group in assign_shards(self.specs, count)
+                ]
+                for count in self.projection_workers
+            }
+            projections = {count: 0.0 for count in proj_groups}
             while now < until:
-                w_end = (
-                    until if self.lookahead is None
-                    else min(until, now + self.lookahead)
-                )
+                w_end = self._horizon(now, until, eots, pending_min)
+                stamp = time.perf_counter()
                 for worker in workers:
                     inbound = {
                         spec.shard_id: pending.pop(spec.shard_id)
                         for spec in worker.specs
                         if spec.shard_id in pending
                     }
-                    if isinstance(worker, _LocalWorker):
-                        worker._pending_reply = worker.run(w_end, inbound)
-                    else:
-                        worker.send_run(w_end, inbound)
-                this_window = {}
+                    worker.dispatch(w_end, inbound)
+                timing["barrier_send_s"] += time.perf_counter() - stamp
+                pending_min = None
+                this_window = None
+                stamp = time.perf_counter()
                 for worker in workers:
-                    if isinstance(worker, _LocalWorker):
-                        outbound, worker_busy, fired = worker._pending_reply
-                    else:
-                        outbound, worker_busy, fired = worker.recv_run()
+                    reply = worker.collect()
+                    kind = reply[0]
+                    if kind == "idle":
+                        continue
+                    if kind == "quiet":
+                        eots.update(reply[1])
+                        continue
+                    _kind, outbound, worker_eots, worker_busy, fired, ser_s \
+                        = reply
+                    eots.update(worker_eots)
                     executed += fired
+                    timing["serialize_s"] += ser_s
                     for sid, seconds in worker_busy.items():
-                        this_window[sid] = seconds
                         busy[sid] = busy.get(sid, 0.0) + seconds
-                    for dst, frames in outbound.items():
-                        pending.setdefault(dst, []).extend(frames)
-                window_busy.append(this_window)
+                    if this_window is None:
+                        this_window = dict(worker_busy)
+                    else:
+                        this_window.update(worker_busy)
+                    for dst, (count, min_arrival, batch) in outbound.items():
+                        pending.setdefault(dst, []).append(batch)
+                        transport["frames"] += count
+                        transport["batches"] += 1
+                        if type(batch) is bytes:
+                            transport["bytes"] += len(batch)
+                        if pending_min is None or min_arrival < pending_min:
+                            pending_min = min_arrival
+                timing["barrier_wait_s"] += time.perf_counter() - stamp
+                if this_window:
+                    for count, groups in proj_groups.items():
+                        projections[count] += max(
+                            sum(this_window.get(sid, 0.0) for sid in group)
+                            for group in groups
+                        )
                 windows += 1
+                window_edges.append(w_end)
                 now = w_end
             shard_results = {}
             for worker in workers:
-                if isinstance(worker, _LocalWorker):
-                    shard_results.update(worker.finish())
-                else:
-                    worker.send_finish()
+                worker.send_finish()
             for worker in workers:
-                if not isinstance(worker, _LocalWorker):
-                    shard_results.update(worker.recv_finish())
+                shard_results.update(worker.recv_finish())
         finally:
             for worker in workers:
                 worker.close()
         wall = time.perf_counter() - start_wall
         return ParallelResult(
             self.specs, len(workers), self.lookahead, shard_results,
-            windows, window_busy, busy, executed, wall,
+            windows, window_edges, busy, executed, wall, projections,
+            timing, transport,
         )

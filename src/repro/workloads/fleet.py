@@ -30,6 +30,13 @@ from repro.workloads.updates import RouteGenerator
 WAN_LATENCY = 0.02
 WAN_BANDWIDTH = 10e9
 
+#: Engine event scope tagging the WAN border subsystem — the only part
+#: of a site that can emit cross-shard frames.  The site's dense local
+#: cadence (BFD, supervision, route churn) stays outside the scope, so
+#: the parallel runtime's adaptive lookahead can widen windows to the
+#: border's next timer instead of the site's next millisecond tick.
+BORDER_SCOPE = "wan-border"
+
 #: virtual-time schedule inside every site
 ROUTES_AT = 12.0
 BORDER_AT = 15.0
@@ -117,35 +124,45 @@ class FleetSiteProgram:
         if churn_ticks:
             engine.schedule(CHURN_AT, self._churn, 0)
 
-        # the border router: one eBGP speaker facing the neighbouring sites
-        self.border_host = self.system.network.add_host(
-            f"s{site}-border", border_address(site)
-        )
-        self.border_stack = TcpStack(engine, self.border_host)
-        self.border = BgpSpeaker(
-            engine,
-            self.border_stack,
-            SpeakerConfig(f"border{site}", border_asn(site),
-                          border_address(site), profile="frr"),
-        )
-        self.border.add_vrf("wan")
-        for neighbor in _ring_neighbors(site, sites):
-            # exactly one active endpoint per ring edge
-            self.border.add_peer(PeerConfig(
-                border_address(neighbor),
-                border_asn(neighbor),
-                vrf_name="wan",
-                mode="active" if site < neighbor else "passive",
-            ))
-        border_gen = RouteGenerator(rand.fork("border"), border_asn(site),
-                                    next_hop=border_address(site))
-        self.border.originate_many(
-            "wan", border_gen.routes(border_routes, base=f"10.{128 + site}.0.0")
-        )
-        engine.schedule(BORDER_AT, self.border.start)
+        # the border router: one eBGP speaker facing the neighbouring
+        # sites.  Everything that can cause a WAN (cross-shard) send is
+        # built and scheduled under BORDER_SCOPE, so events the border
+        # spawns — TCP timers, BGP keepalives, MRAI flushes — inherit
+        # the scope transitively and next_outbound_time() below stays a
+        # sound bound for the adaptive lookahead.
+        with engine.scoped(BORDER_SCOPE):
+            self.border_host = self.system.network.add_host(
+                f"s{site}-border", border_address(site)
+            )
+            self.border_stack = TcpStack(engine, self.border_host)
+            self.border = BgpSpeaker(
+                engine,
+                self.border_stack,
+                SpeakerConfig(f"border{site}", border_asn(site),
+                              border_address(site), profile="frr"),
+            )
+            self.border.add_vrf("wan")
+            for neighbor in _ring_neighbors(site, sites):
+                # exactly one active endpoint per ring edge
+                self.border.add_peer(PeerConfig(
+                    border_address(neighbor),
+                    border_asn(neighbor),
+                    vrf_name="wan",
+                    mode="active" if site < neighbor else "passive",
+                ))
+            border_gen = RouteGenerator(rand.fork("border"), border_asn(site),
+                                        next_hop=border_address(site))
+            self.border.originate_many(
+                "wan",
+                border_gen.routes(border_routes, base=f"10.{128 + site}.0.0")
+            )
+            engine.schedule(BORDER_AT, self.border.start)
 
         # WAN edges exist as stub-host links from here on; every border
-        # packet to a neighbour is exported at a window barrier
+        # packet to a neighbour is exported at a window barrier.
+        # Inbound WAN frames are injected under the border scope too —
+        # their causal closure is border activity.
+        boundary.inject_scope = BORDER_SCOPE
         boundary.attach(self.system.network)
 
     # -- scheduled workload -------------------------------------------------
@@ -167,6 +184,13 @@ class FleetSiteProgram:
             self.engine.schedule(self._churn_interval, self._churn, tick + 1)
 
     # -- runtime contract ---------------------------------------------------
+
+    def next_outbound_time(self):
+        """Earliest instant anything border-scoped can happen — the
+        adaptive-lookahead bound for this site.  Intra-site load (BFD
+        ticks, supervision, churn) is invisible here by design: it can
+        never reach the WAN."""
+        return self.engine.next_event_time(BORDER_SCOPE)
 
     def results(self):
         wan_rib = tuple(

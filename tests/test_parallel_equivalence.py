@@ -9,6 +9,7 @@ workload (cross-shard BGP ring) and the chaos corpus (closed shards).
 """
 
 import functools
+import math
 
 import pytest
 
@@ -18,7 +19,9 @@ from repro.failures.chaos import (
     generate_schedule,
     run_schedule,
 )
-from repro.sim.parallel import ParallelRunner
+from repro.sim import Engine, Network
+from repro.sim.network import Packet
+from repro.sim.parallel import BoundaryLink, ParallelRunner, ShardSpec
 from repro.workloads.fleet import fleet_site_specs
 
 pytestmark = pytest.mark.slow
@@ -43,7 +46,7 @@ def chaos_run(workers):
     )
 
 
-DB_FAILOVER_SEEDS = (10, 11)
+DB_FAILOVER_SEEDS = (10, 11, 12)
 
 
 @functools.lru_cache(maxsize=None)
@@ -59,11 +62,16 @@ def db_failover_run(workers):
 # ----------------------------------------------------------------------
 
 def test_fleet_sharded_run_is_bit_identical_across_worker_counts():
-    sequential, sharded = fleet_run(1), fleet_run(4)
-    assert sequential.shard_results == sharded.shard_results
-    # same virtual execution: identical event counts and barrier count
-    assert sequential.executed == sharded.executed
-    assert sequential.windows == sharded.windows
+    sequential, two, four = fleet_run(1), fleet_run(2), fleet_run(4)
+    assert sequential.shard_results == two.shard_results
+    assert sequential.shard_results == four.shard_results
+    # same virtual execution: identical event counts, barrier count, and
+    # the exact adaptive window sequence (the horizon is a pure function
+    # of shard state, never of worker placement)
+    for sharded in (two, four):
+        assert sequential.executed == sharded.executed
+        assert sequential.windows == sharded.windows
+        assert sequential.window_edges == sharded.window_edges
 
 
 def test_fleet_run_exercises_the_cross_shard_ring():
@@ -90,8 +98,9 @@ def test_fleet_trace_phase_summaries_match_across_worker_counts():
 # ----------------------------------------------------------------------
 
 def test_chaos_corpus_verdicts_identical_across_worker_counts():
-    sequential, sharded = chaos_run(1), chaos_run(4)
-    assert sequential.shard_results == sharded.shard_results
+    sequential, two, four = chaos_run(1), chaos_run(2), chaos_run(4)
+    assert sequential.shard_results == two.shard_results
+    assert sequential.shard_results == four.shard_results
     for seed in CHAOS_SEEDS:
         verdict = sequential.shard_results[f"chaos{seed}"]["verdict"]
         assert verdict == "all oracles passed"
@@ -107,6 +116,118 @@ def test_db_failover_chaos_identical_across_worker_counts():
     for seed in DB_FAILOVER_SEEDS:
         verdict = sequential.shard_results[f"chaos{seed}"]["verdict"]
         assert verdict == "all oracles passed"
+
+
+# ----------------------------------------------------------------------
+# quiet/bursty scenario: adaptive windows widen in gaps, narrow in bursts
+# ----------------------------------------------------------------------
+
+BURST_DURATION = 16.0
+BURST_LOOKAHEAD = 0.01
+
+
+class BurstProgram:
+    """Alternating quiet/bursty shard for the adaptive-window contract.
+
+    Cross-shard traffic happens in short scoped bursts separated by long
+    quiet gaps, while dense *unscoped* local tick noise runs throughout —
+    exactly the shape the scoped ``next_outbound_time()`` bound exists
+    for: the noise must not narrow the windows, the bursts must.
+    """
+
+    SCOPE = "burst"
+
+    def __init__(self, shard_id, params, boundary):
+        self.engine = Engine()
+        self.network = Network(self.engine)
+        self.host = self.network.add_host(f"h-{shard_id}", params["addr"])
+        self.peer = params["peer"]
+        self.log = []
+        self.ticks = 0
+        self.host.bind("udp", 9, self._on_packet)
+        boundary.inject_scope = self.SCOPE
+        boundary.attach(self.network)
+        # dense local noise, outside the scope (5 ms cadence, half the
+        # lookahead): invisible to next_outbound_time() by design
+        self.engine.schedule(0.005, self._tick)
+        with self.engine.scoped(self.SCOPE):
+            for start in params.get("bursts", ()):
+                self.engine.schedule(start, self._burst, 0)
+
+    def _tick(self):
+        self.ticks += 1
+        if self.engine.now < BURST_DURATION - 0.01:
+            self.engine.schedule(0.005, self._tick)
+
+    def _burst(self, n):
+        self.log.append(("tx", round(self.engine.now, 6), n))
+        self.host.send(
+            Packet(self.host.address, self.peer, "udp", 9, 9, n, 100)
+        )
+        if n + 1 < 5:
+            # fires under the burst scope (ambient propagation), so the
+            # rest of the burst stays visible to the lookahead bound
+            self.engine.schedule(0.003, self._burst, n + 1)
+
+    def _on_packet(self, packet):
+        self.log.append(("rx", round(self.engine.now, 6), packet.payload))
+
+    def next_outbound_time(self):
+        return self.engine.next_event_time(self.SCOPE)
+
+    def results(self):
+        return {"log": tuple(self.log), "ticks": self.ticks}
+
+
+def build_burst(shard_id, params, boundary):
+    return BurstProgram(shard_id, params, boundary)
+
+
+def burst_specs():
+    return [
+        ShardSpec(
+            "A", build_burst,
+            {"addr": "10.0.0.1", "peer": "10.0.0.2", "bursts": (2.0, 12.0)},
+            links=[BoundaryLink("10.0.0.1", "10.0.0.2", "B", BURST_LOOKAHEAD)],
+        ),
+        ShardSpec(
+            "B", build_burst,
+            {"addr": "10.0.0.2", "peer": "10.0.0.1", "bursts": (7.0,)},
+            links=[BoundaryLink("10.0.0.2", "10.0.0.1", "A", BURST_LOOKAHEAD)],
+        ),
+    ]
+
+
+@functools.lru_cache(maxsize=None)
+def burst_run(workers):
+    return ParallelRunner(burst_specs(), workers=workers).run(BURST_DURATION)
+
+
+def test_burst_scenario_bit_identical_across_worker_counts():
+    one, two, four = burst_run(1), burst_run(2), burst_run(4)
+    assert one.shard_results == two.shard_results
+    assert one.shard_results == four.shard_results
+    assert one.window_edges == two.window_edges
+    assert one.window_edges == four.window_edges
+    # every burst actually crossed shards in both directions
+    for shard in ("A", "B"):
+        log = one.shard_results[shard]["log"]
+        assert any(entry[0] == "rx" for entry in log)
+        assert one.shard_results[shard]["ticks"] > 1000  # noise really ran
+
+
+def test_burst_scenario_windows_collapse_in_quiet_gaps():
+    result = burst_run(1)
+    fixed_equiv = math.ceil(BURST_DURATION / BURST_LOOKAHEAD)
+    # far below the fixed-lookahead window count despite the dense noise
+    assert result.windows * 10 <= fixed_equiv
+    # the quiet gaps are covered by a handful of wide windows...
+    _wide_count, wide_span = result.wide_windows()
+    assert wide_span > BURST_DURATION * 0.6
+    # ...while the bursts force windows back down to the lookahead bound
+    assert any(
+        width <= BURST_LOOKAHEAD * 1.5 for width in result.window_widths()
+    )
 
 
 def test_chaos_shard_matches_plain_run_schedule():

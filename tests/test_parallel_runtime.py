@@ -203,8 +203,29 @@ def test_lookahead_and_window_count():
     runner = ParallelRunner(ping_specs(), workers=1)
     assert runner.lookahead == LATENCY
     result = runner.run(1.0)
-    # 1.0s horizon / 0.01s lookahead (float accumulation may add one)
-    assert result.windows in (100, 101)
+    # Adaptive windows: the fixed protocol would need ~100 barriers
+    # (1.0s / 0.01s lookahead); the adaptive horizon only narrows while
+    # the ping-pong is in flight and leaps over the quiet lead-in
+    # (nothing before 0.5s) and the quiet tail after the exchange.
+    assert 2 <= result.windows < 30
+    assert result.window_edges[0] == 0.0
+    assert result.window_edges[-1] == pytest.approx(1.0)
+    widths = result.window_widths()
+    assert sum(widths) == pytest.approx(1.0)
+    # the lead-in is one wide window ending at first-send + lookahead
+    assert result.window_edges[1] == pytest.approx(0.5 + LATENCY, abs=1e-9)
+    wide_count, wide_span = result.wide_windows()
+    assert wide_count >= 2  # the lead-in and the tail, at least
+    assert wide_span > 0.9  # quiet time dominates this scenario
+
+
+def test_adaptive_windows_fall_back_to_lookahead_under_traffic():
+    # while the exchange is in flight, consecutive barriers are one
+    # lookahead (plus the serialization sliver) apart — the
+    # conservative fallback under traffic
+    result = ParallelRunner(ping_specs(), workers=1).run(1.0)
+    narrow = [w for w in result.window_widths() if w <= LATENCY * 1.5]
+    assert len(narrow) >= 4  # several hops synchronized at ~width L
 
 
 def test_closed_shards_run_in_a_single_window():
@@ -241,14 +262,31 @@ def test_result_accounting_and_projection():
     result = ParallelRunner(ping_specs(), workers=1).run(1.0)
     assert result.executed > 0
     assert set(result.busy) == {"A", "B"}
-    assert len(result.window_busy) == result.windows
+    assert len(result.window_edges) == result.windows + 1
     total_busy = sum(result.busy.values())
-    assert sum(
-        sum(w.values()) for w in result.window_busy
-    ) == pytest.approx(total_busy, rel=1e-6)
     # projection at 1 worker is the full busy sum; at 2 it can only shrink
     assert result.projected_wall(1) == pytest.approx(total_busy, rel=1e-6)
     assert result.projected_wall(2) <= total_busy + 1e-9
+    # projections exist only for the requested worker counts
+    with pytest.raises(SimulationError, match="no projection"):
+        result.projected_wall(7)
+    # the timing split is recorded and self-consistent
+    assert result.timing["compute_s"] == pytest.approx(total_busy, rel=1e-6)
+    assert result.timing["wall_s"] == result.wall
+    for key in ("serialize_s", "barrier_send_s", "barrier_wait_s"):
+        assert result.timing[key] >= 0.0
+    # in-process transport never pickles: frames counted, zero blob bytes
+    assert result.transport["frames"] > 0
+    assert result.transport["bytes"] == 0
+
+
+def test_projection_workers_override():
+    runner = ParallelRunner(ping_specs(), workers=1,
+                            projection_workers=(1,))
+    result = runner.run(1.0)
+    assert sorted(result.projections) == [1]
+    with pytest.raises(SimulationError, match="no projection"):
+        result.projected_wall(2)
 
 
 def test_process_mode_matches_local_mode():
@@ -274,3 +312,122 @@ def test_process_mode_propagates_worker_errors():
     spec = ShardSpec("X", "repro.sim.parallel.runtime:no_such_builder")
     with pytest.raises(RuntimeError, match="no_such_builder"):
         ParallelRunner([spec], workers=2).run(1.0)
+
+
+# ----------------------------------------------------------------------
+# worker lifecycle: crashes mid-window, silent deaths, stragglers
+# ----------------------------------------------------------------------
+
+class MidWindowCrashProgram:
+    """Runs fine through build, then detonates inside a window."""
+
+    def __init__(self, shard_id, params, boundary):
+        self.engine = Engine()
+        self.network = Network(self.engine)
+        self.network.add_host(f"h-{shard_id}", params["addr"])
+        boundary.attach(self.network)
+        self.engine.schedule(0.5, self._boom)
+
+    def _boom(self):
+        raise ValueError("kaboom mid-window")
+
+    def results(self):
+        return ()
+
+
+def build_mid_window_crash(shard_id, params, boundary):
+    return MidWindowCrashProgram(shard_id, params, boundary)
+
+
+def crash_pair_specs():
+    return [
+        ShardSpec(
+            "A", build_mid_window_crash, {"addr": "10.0.0.1"},
+            links=[BoundaryLink("10.0.0.1", "10.0.0.2", "B", LATENCY)],
+        ),
+        ShardSpec(
+            "B", build_ping, {"addr": "10.0.0.2", "peer": "10.0.0.1"},
+            links=[BoundaryLink("10.0.0.2", "10.0.0.1", "A", LATENCY)],
+        ),
+    ]
+
+
+def test_worker_crash_mid_window_surfaces_traceback_without_hanging():
+    # the worker catches the exception inside its window loop and ships
+    # the traceback; the coordinator re-raises promptly (no deadlock on
+    # the barrier) and the finally-path closes every worker
+    with pytest.raises(RuntimeError, match="kaboom mid-window"):
+        ParallelRunner(crash_pair_specs(), workers=2).run(2.0)
+
+
+def build_exit_hard(shard_id, params, boundary):
+    import os
+
+    os._exit(3)
+
+
+def test_worker_dying_without_traceback_raises_runtime_error():
+    # a worker that dies outright (no error message, pipe just closes)
+    # must surface as RuntimeError, not EOFError or a hang
+    spec = ShardSpec("X", build_exit_hard)
+    with pytest.raises(RuntimeError, match="died without"):
+        ParallelRunner([spec], workers=2).run(1.0)
+
+
+def build_sleepy(shard_id, params, boundary):
+    import time as _time
+
+    _time.sleep(60)
+
+
+def test_close_terminates_stragglers_via_timeout_path():
+    import multiprocessing
+    import time as _time
+
+    from repro.sim.parallel.runtime import _ProcessWorker
+
+    context = multiprocessing.get_context("spawn")
+    worker = _ProcessWorker(
+        [ShardSpec("X", build_sleepy)], context, join_timeout=0.5
+    )
+    try:
+        assert worker.process.is_alive()
+        start = _time.perf_counter()
+        worker.close()  # "stop" goes unread; join times out; terminate
+        elapsed = _time.perf_counter() - start
+    finally:
+        if worker.process.is_alive():  # belt and braces on test failure
+            worker.process.kill()
+    assert not worker.process.is_alive()
+    assert elapsed < 30  # nowhere near the 60s the worker wanted
+
+
+# ----------------------------------------------------------------------
+# adaptive lookahead: the conservative contract is verified at runtime
+# ----------------------------------------------------------------------
+
+class LyingEotProgram(PingProgram):
+    """Claims its boundary is quiet forever, then sends anyway."""
+
+    def next_outbound_time(self):
+        return 1e9
+
+
+def build_lying_eot(shard_id, params, boundary):
+    return LyingEotProgram(shard_id, params, boundary)
+
+
+def test_underreported_next_outbound_time_fails_loudly():
+    specs = [
+        ShardSpec(
+            "A", build_lying_eot,
+            {"addr": "10.0.0.1", "peer": "10.0.0.2", "starts": True},
+            links=[BoundaryLink("10.0.0.1", "10.0.0.2", "B", LATENCY)],
+        ),
+        ShardSpec(
+            "B", build_ping, {"addr": "10.0.0.2", "peer": "10.0.0.1"},
+            links=[BoundaryLink("10.0.0.2", "10.0.0.1", "A", LATENCY)],
+        ),
+    ]
+    with pytest.raises(SimulationError, match="under-reported"):
+        ParallelRunner(specs, workers=1).run(2.0)

@@ -327,3 +327,96 @@ def test_next_id_counters_are_engine_scoped():
     # a second engine in the same process starts from scratch: identifier
     # streams never leak between co-hosted simulations
     assert b.next_id("tcp.isn", 1) == 1
+
+
+# ----------------------------------------------------------------------
+# next-event queries and event scopes (adaptive parallel lookahead)
+# ----------------------------------------------------------------------
+
+def test_next_event_time_peeks_without_firing():
+    engine = Engine()
+    assert engine.next_event_time() is None
+    engine.schedule(2.0, lambda: None)
+    engine.schedule(1.0, lambda: None)
+    assert engine.next_event_time() == 1.0
+    assert engine.now == 0.0  # peeking never advances the clock
+    engine.run_until_idle()
+    assert engine.next_event_time() is None
+
+
+def test_next_event_time_skips_cancelled_heads():
+    engine = Engine()
+    first = engine.schedule(1.0, lambda: None)
+    engine.schedule(3.0, lambda: None)
+    first.cancel()
+    assert engine.next_event_time() == 3.0
+
+
+def test_next_event_time_keeps_cancelled_head_with_live_members():
+    # a cancelled slot head whose chained members are still live must
+    # report the slot's instant — the members fire there
+    engine = Engine()
+    fired = []
+    head = engine.schedule(1.0, fired.append, "head")
+    engine.schedule(1.0, fired.append, "member")
+    head.cancel()
+    assert engine.next_event_time() == 1.0
+    engine.run_until_idle()
+    assert fired == ["member"]
+
+
+def test_scoped_events_are_tracked_per_scope():
+    engine = Engine()
+    with engine.scoped("wan"):
+        engine.schedule(5.0, lambda: None)
+    engine.schedule(0.5, lambda: None)  # unscoped noise
+    assert engine.next_event_time() == 0.5
+    assert engine.next_event_time("wan") == 5.0
+    assert engine.next_event_time("other") is None
+
+
+def test_scope_propagates_to_events_scheduled_by_scoped_callbacks():
+    engine = Engine()
+    fired = []
+
+    def chained():
+        fired.append(engine.now)
+        if len(fired) < 3:
+            engine.schedule(1.0, chained)  # inherits ambient "wan"
+
+    with engine.scoped("wan"):
+        engine.schedule(1.0, chained)
+    engine.schedule(0.25, lambda: None)
+    engine.run(until=1.5)
+    # the transitively scheduled hop is visible under the scope
+    assert engine.next_event_time("wan") == 2.0
+    engine.run_until_idle()
+    assert fired == [1.0, 2.0, 3.0]
+    assert engine.next_event_time("wan") is None
+
+
+def test_scope_does_not_leak_to_unscoped_schedules():
+    engine = Engine()
+
+    def scoped_event():
+        pass
+
+    with engine.scoped("wan"):
+        engine.schedule(1.0, scoped_event)
+    engine.run_until_idle()
+    # after the loop, ambient scope is restored: a fresh schedule made
+    # outside any scoped() block (e.g. at a window barrier) is unscoped
+    engine.schedule(1.0, lambda: None)
+    assert engine.next_event_time("wan") is None
+    assert engine.next_event_time() == pytest.approx(2.0)
+
+
+def test_scoped_next_event_skips_cancelled_and_fired():
+    engine = Engine()
+    with engine.scoped("s"):
+        doomed = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+    doomed.cancel()
+    assert engine.next_event_time("s") == 2.0
+    engine.run_until_idle()
+    assert engine.next_event_time("s") is None
