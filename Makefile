@@ -4,7 +4,11 @@ export PYTHONPATH := src
 # Seed sweep width for `make chaos` (seeds 0..SEEDS-1).
 SEEDS ?= 25
 
-.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation trace-demo verify
+# Campaign shape for `make fuzz` (spec seeds derive from FUZZ_SEED).
+FUZZ_SEED ?= 0
+FUZZ_ITERATIONS ?= 10
+
+.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation fuzz fuzz-corpus fuzz-smoke trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -64,12 +68,31 @@ chaos-corpus:
 chaos-ablation:
 	$(PYTHON) -m repro.failures.chaos --ablation
 
+# Coverage-guided config/topology fuzzing (DESIGN.md §13): mutate
+# config + topology + failure schedule together; novel coverage keys
+# keep specs in the corpus, violations shrink across schedule *and*
+# config dimensions into replayable fuzz_repro_<seed>.py scripts.
+fuzz:
+	$(PYTHON) -m repro.fuzz --seed $(FUZZ_SEED) --iterations $(FUZZ_ITERATIONS)
+
+# Regenerate the checked-in regression manifest: the chaos-corpus
+# coverage baseline (seeds 0-12) plus the campaign entries that reach
+# coverage the fixed corpus never produces (tier-1 replays a sample).
+fuzz-corpus:
+	$(PYTHON) -m repro.fuzz --seed 0 --iterations 12 \
+		--write-manifest tests/fuzz_corpus/manifest.json
+
+# Bounded fuzz gate for `make verify`: three fixed seeds with capped
+# horizons, finishes in well under 30 s.
+fuzz-smoke:
+	$(PYTHON) -m repro.fuzz --smoke
+
 # Causal-tracing walkthrough (DESIGN.md §10): phase latency summary,
 # one update's critical path, and the delayed-ACK invariant check.
 trace-demo:
 	$(PYTHON) -m repro.trace.demo
 
 # The full gate: tier-1 tests, perf regression (hot path, parallel,
-# failover drain), chaos corpus, the parallel determinism smoke, and
-# the database failover smoke.
-verify: test bench-gate chaos-corpus parallel-smoke kv-failover
+# failover drain), chaos corpus, the parallel determinism smoke, the
+# database failover smoke, and the bounded fuzz smoke.
+verify: test bench-gate chaos-corpus parallel-smoke kv-failover fuzz-smoke

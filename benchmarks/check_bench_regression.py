@@ -28,6 +28,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+# Fuzzer/chaos repro scripts are working-tree artifacts (gitignored),
+# not benchmark inputs: the gate must never collect or gate on them,
+# wherever a campaign's --out dropped them.
+ARTIFACT_GLOBS = ("fuzz_repro_*.py", "chaos_repro_*.py")
+
+
+def ignored_artifacts():
+    found = []
+    for directory in (REPO_ROOT, REPO_ROOT / "benchmarks"):
+        for pattern in ARTIFACT_GLOBS:
+            found.extend(sorted(directory.glob(pattern)))
+    return found
+
 
 def _validate_parallel(fresh, baseline):
     """Parallel-suite invariants beyond raw throughput.
@@ -118,7 +131,8 @@ SUITES = {
         "json": "BENCH_hotpath.json",
         "run": [sys.executable, "-m", "pytest",
                 str(REPO_ROOT / "benchmarks" / "bench_hotpath.py"),
-                "-q", "--benchmark-disable-gc"],
+                "-q", "--benchmark-disable-gc"]
+               + [f"--ignore-glob={g}" for g in ARTIFACT_GLOBS],
         "threshold": 0.20,
         "validate": None,
     },
@@ -215,6 +229,12 @@ def main():
     names = sorted(SUITES) if args.suite == "all" else [args.suite]
     if args.baseline is not None and len(names) != 1:
         sys.exit("bench-gate: --baseline requires --suite NAME")
+
+    artifacts = ignored_artifacts()
+    if artifacts:
+        print(f"bench-gate: ignoring {len(artifacts)} fuzzer repro "
+              f"artifact(s): "
+              + ", ".join(p.name for p in artifacts))
 
     failures = []
     for name in names:

@@ -54,12 +54,22 @@ class Origin(enum.IntEnum):
 class AsPath:
     """An AS_PATH: an ordered list of (segment_type, asns) segments."""
 
-    __slots__ = ("segments",)
+    __slots__ = ("segments", "_path_length", "_first_as")
 
     def __init__(self, segments=()):
         self.segments = tuple(
             (seg_type, tuple(asns)) for seg_type, asns in segments
         )
+        # Immutable, so the two decision-process projections are
+        # precomputed: both sit on the Loc-RIB offer hot path.
+        total = 0
+        first = None
+        for seg_type, asns in self.segments:
+            total += len(asns) if seg_type == SEGMENT_SEQUENCE else 1
+            if first is None and asns:
+                first = asns[0]
+        self._path_length = total
+        self._first_as = first
 
     @classmethod
     def sequence(cls, *asns):
@@ -80,10 +90,7 @@ class AsPath:
 
     def path_length(self):
         """Decision-process length: an AS_SET counts as one hop."""
-        total = 0
-        for seg_type, asns in self.segments:
-            total += len(asns) if seg_type == SEGMENT_SEQUENCE else 1
-        return total
+        return self._path_length
 
     def contains(self, asn):
         """Loop detection."""
@@ -91,10 +98,7 @@ class AsPath:
 
     def first_as(self):
         """The neighbouring AS (leftmost AS of the path), or None."""
-        for seg_type, asns in self.segments:
-            if asns:
-                return asns[0]
-        return None
+        return self._first_as
 
     def as_list(self):
         return [asn for _t, asns in self.segments for asn in asns]

@@ -2,7 +2,7 @@
 
 Deterministic and order-independent: given the same candidate set in any
 order, the same route wins (property-tested in
-tests/test_bgp_decision.py).
+tests/test_bgp_rib_decision.py).
 """
 
 DEFAULT_LOCAL_PREF = 100
@@ -13,10 +13,46 @@ def _peer_tiebreak_key(route):
     return str(route.peer_id)
 
 
+def med_group(route):
+    """MED comparison group: the neighboring (first) AS.
+
+    RFC 4271 §9.1.2.2 c) compares MED only between routes learned from
+    the same neighboring AS; ``None`` (empty AS path, locally
+    originated) never participates in a MED comparison.
+    """
+    return route.attributes.as_path.first_as()
+
+
 def best_path(candidates):
-    """Select the best route from ``candidates`` (non-empty list)."""
+    """Select the best route from ``candidates`` (non-empty list).
+
+    Pairwise preference is *not transitive* once MED is in play — MED
+    compares only inside a neighboring-AS group, so a route can lose to
+    a same-group rival on MED while beating the cross-group incumbent
+    on a later step — and a bare linear scan over such a comparator is
+    order-dependent.  Selection is therefore deterministic-MED: the
+    best route of each neighboring-AS group is chosen first (MED
+    applies inside a group, where :func:`_prefer` is a total order),
+    then the group winners are compared with the MED step inert (it
+    never matches across groups, so that pass is a total order too).
+    The result is independent of candidate order.
+    """
     if not candidates:
         return None
+    groups = {}
+    finalists = []
+    for route in candidates:
+        group = med_group(route)
+        if group is None:
+            finalists.append(route)
+        else:
+            groups.setdefault(group, []).append(route)
+    for members in groups.values():
+        finalists.append(_scan(members))
+    return _scan(finalists)
+
+
+def _scan(candidates):
     best = candidates[0]
     for challenger in candidates[1:]:
         if _prefer(challenger, best):
@@ -25,12 +61,13 @@ def best_path(candidates):
 
 
 def prefer(challenger, incumbent):
-    """True when ``challenger`` beats ``incumbent``.
+    """True when ``challenger`` beats ``incumbent`` pairwise.
 
-    Public entry point for the Loc-RIB's incremental re-selection: a
-    newly offered candidate is appended to the prefix's candidate order,
-    so comparing it against the current best is exactly the last step of
-    the :func:`best_path` linear scan.
+    Public entry point for the Loc-RIB's incremental re-selection.
+    Only decisive when the challenger shares no MED group with another
+    candidate for the prefix — the Loc-RIB falls back to a full
+    :func:`best_path` re-scan otherwise, because a same-group rival can
+    displace a group winner without beating the incumbent pairwise.
     """
     return _prefer(challenger, incumbent)
 

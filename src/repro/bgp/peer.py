@@ -39,6 +39,7 @@ class PeerConfig:
         import_policy=None,
         export_policy=None,
         graceful_restart_time=None,
+        mrai=None,
     ):
         if mode not in ("active", "passive"):
             raise ValueError(f"bad session mode {mode!r}")
@@ -52,6 +53,10 @@ class PeerConfig:
         self.import_policy = import_policy or PERMIT_ALL
         self.export_policy = export_policy or PERMIT_ALL
         self.graceful_restart_time = graceful_restart_time
+        #: Per-peer MRAI override, effective when the owning speaker runs
+        #: in a per-peer mode (``SpeakerConfig.mrai_mode != "per_speaker"``);
+        #: ``None`` inherits the speaker-level interval.
+        self.mrai = mrai
 
     @property
     def peer_id(self):

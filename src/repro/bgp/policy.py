@@ -17,11 +17,13 @@ class PrefixList:
     def __init__(self, name, entries=(), match_longer=True):
         self.name = name
         self.match_longer = match_longer
+        self.entries = []
         self._trie = PrefixTrie()
         for prefix in entries:
-            self._trie.insert(prefix, True)
+            self.add(prefix)
 
     def add(self, prefix):
+        self.entries.append(prefix)
         self._trie.insert(prefix, True)
 
     def matches(self, prefix):
@@ -119,3 +121,70 @@ class RouteMap:
 #: A route map that permits everything untouched (the default when a peer
 #: has no policy configured).
 PERMIT_ALL = RouteMap("permit-all", default_permit=True)
+
+
+# ----------------------------------------------------------------------
+# serialization (deployment specs, fuzzer corpus entries)
+# ----------------------------------------------------------------------
+
+def policy_to_dict(route_map):
+    """A JSON-safe description of ``route_map`` (inverse of
+    :func:`policy_from_dict`).  Prefix-list matches serialize as prefix
+    strings; ``None`` stays ``None`` (no policy configured)."""
+    if route_map is None:
+        return None
+    entries = []
+    for entry in route_map.entries:
+        action = entry.action
+        entries.append({
+            "permit": entry.permit,
+            "match_prefixes": (
+                None if entry.match_prefix_list is None
+                else sorted(str(p) for p in entry.match_prefix_list.entries)
+            ),
+            "match_community": entry.match_community,
+            "match_as": entry.match_as,
+            "set_local_pref": action.set_local_pref,
+            "set_med": action.set_med,
+            "add_communities": list(action.add_communities),
+            "prepend_as": action.prepend_as,
+            "prepend_count": action.prepend_count,
+        })
+    return {
+        "name": route_map.name,
+        "default_permit": route_map.default_permit,
+        "entries": entries,
+    }
+
+
+def policy_from_dict(data):
+    """Rebuild a :class:`RouteMap` from :func:`policy_to_dict` output."""
+    if data is None:
+        return None
+    from repro.bgp.prefixes import Prefix
+
+    entries = []
+    for spec in data.get("entries", ()):
+        prefix_list = None
+        if spec.get("match_prefixes") is not None:
+            prefix_list = PrefixList(
+                f"{data['name']}-pl",
+                entries=[Prefix.parse(p) for p in spec["match_prefixes"]],
+            )
+        entries.append(RouteMapEntry(
+            permit=spec.get("permit", True),
+            match_prefix_list=prefix_list,
+            match_community=spec.get("match_community"),
+            match_as=spec.get("match_as"),
+            action=PolicyAction(
+                set_local_pref=spec.get("set_local_pref"),
+                set_med=spec.get("set_med"),
+                add_communities=tuple(spec.get("add_communities", ())),
+                prepend_as=spec.get("prepend_as"),
+                prepend_count=spec.get("prepend_count", 1),
+            ),
+        ))
+    return RouteMap(
+        data["name"], entries=entries,
+        default_permit=data.get("default_permit", False),
+    )

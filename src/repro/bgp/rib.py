@@ -5,7 +5,7 @@ Adj-RIB-In; the decision process selects one best route per prefix into
 the Loc-RIB; per-peer Adj-RIB-Out holds what has been advertised.
 """
 
-from repro.bgp.decision import best_path, prefer
+from repro.bgp.decision import best_path, med_group, prefer
 
 
 class Route:
@@ -80,6 +80,10 @@ class LocRib:
         self.router_id = router_id
         self._best = {}  # prefix -> Route
         self._candidates = {}  # prefix -> {peer_id: Route}
+        # prefix -> {first_as: member count}; lets offer/retract decide
+        # in O(1) whether MED is in play for a candidate (None groups —
+        # no AS path — never compare MED and are not counted).
+        self._med_groups = {}
         #: Number of best-path selections actually executed: incremental
         #: challenger-vs-incumbent comparisons and full re-scans.  No-op
         #: retracts and trivial single-candidate adoptions do not count.
@@ -100,14 +104,31 @@ class LocRib:
 
         Selection is incremental: a candidate from a new peer is appended
         to the prefix's candidate order, so one comparison against the
-        incumbent best finishes the :func:`best_path` linear scan.  Only
-        when the incumbent itself is displaced (the offering peer *is*
-        the best's peer) does a full re-scan run.
+        incumbent best finishes the :func:`best_path` linear scan.  A
+        full re-scan runs only when the incumbent itself is displaced
+        (the offering peer *is* the best's peer) or when the challenger
+        joins a populated MED group, where pairwise preference is not
+        decisive (see :func:`repro.bgp.decision.best_path`).
         """
         prefix = route.prefix
         self._touch(prefix)
         candidates = self._candidates.setdefault(prefix, {})
+        previous = candidates.get(route.peer_id)
         candidates[route.peer_id] = route
+        group = med_group(route)
+        prev_group = None
+        if previous is None:
+            if group is not None:
+                counts = self._med_groups.setdefault(prefix, {})
+                counts[group] = counts.get(group, 0) + 1
+        elif previous is not route:
+            prev_group = med_group(previous)
+            if prev_group != group:
+                counts = self._med_groups.setdefault(prefix, {})
+                if prev_group is not None:
+                    self._group_drop(counts, prev_group)
+                if group is not None:
+                    counts[group] = counts.get(group, 0) + 1
         old = self._best.get(prefix)
         if old is None:
             # First (or only) candidate: trivially best, nothing to compare.
@@ -118,6 +139,19 @@ class LocRib:
                 # Replaced the lone candidate: still trivially best.
                 self._best[prefix] = route
                 return old, route
+            return self._full_reselect(prefix)
+        if group is not None and self._med_groups[prefix][group] > 1:
+            # MED in play: the challenger can displace its group's
+            # winner without beating the incumbent pairwise (and vice
+            # versa), so one comparison cannot decide.
+            return self._full_reselect(prefix)
+        if (prev_group is not None and prev_group != group
+                and self._med_groups[prefix].get(prev_group)
+                and self._evicts_group_winner(candidates, previous,
+                                              prev_group)):
+            # The replaced route was its old MED group's winner; its
+            # eviction restores a weaker-in-group finalist that may
+            # still beat the incumbent MED-blind.
             return self._full_reselect(prefix)
         self.decision_runs += 1
         if prefer(route, old):
@@ -134,16 +168,46 @@ class LocRib:
         candidates = self._candidates.get(prefix)
         if not candidates or peer_id not in candidates:
             return self._best.get(prefix), self._best.get(prefix)
-        del candidates[peer_id]
+        removed = candidates.pop(peer_id)
         self._touch(prefix)
         old = self._best.get(prefix)
+        group = med_group(removed)
+        counts = self._med_groups.get(prefix, {})
+        if group is not None:
+            self._group_drop(counts, group)
         if not candidates:
             del self._candidates[prefix]
+            self._med_groups.pop(prefix, None)
             self._best.pop(prefix, None)
             return old, None
         if old is not None and old.peer_id != peer_id:
-            return old, old
+            if (group is None or not counts.get(group)
+                    or not self._evicts_group_winner(candidates, removed,
+                                                     group)):
+                # Best untouched: the removed route was neither the
+                # overall best nor a MED group winner whose eviction
+                # could restore a stronger finalist.
+                return old, old
         return self._full_reselect(prefix)
+
+    @staticmethod
+    def _group_drop(counts, group):
+        remaining = counts.get(group, 1) - 1
+        if remaining:
+            counts[group] = remaining
+        else:
+            counts.pop(group, None)
+
+    @staticmethod
+    def _evicts_group_winner(candidates, departed, group):
+        """True when ``departed`` was the winner of its (still-populated)
+        MED group — its eviction promotes a weaker-in-group route into
+        the finalists, which the MED-blind pass may rank higher."""
+        return not any(
+            prefer(other, departed)
+            for other in candidates.values()
+            if med_group(other) == group
+        )
 
     def _full_reselect(self, prefix):
         self.decision_runs += 1

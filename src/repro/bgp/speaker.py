@@ -37,6 +37,18 @@ CONTROL_MESSAGE_COST = 2e-6
 DEFAULT_MRAI = 0.05
 
 
+#: How MRAI pacing is applied (DESIGN.md §13):
+#: - ``per_speaker`` — one flush timer for the whole process (the
+#:   historical behaviour; bit-identical to pre-mode code).
+#: - ``per_peer`` — each session flushes on its own timer, using the
+#:   session's ``PeerConfig.mrai`` override when set.
+#: - ``per_prefix`` — per-peer timers, plus each (peer, prefix) is rate
+#:   limited: a prefix advertised at ``t`` is not re-advertised to that
+#:   peer before ``t + mrai``; early changes stay queued and flush when
+#:   the pacing window opens.
+MRAI_MODES = ("per_speaker", "per_peer", "per_prefix")
+
+
 class SpeakerConfig:
     """Static configuration of one BGP process."""
 
@@ -48,6 +60,7 @@ class SpeakerConfig:
         profile="frr",
         update_packing=None,
         mrai=DEFAULT_MRAI,
+        mrai_mode="per_speaker",
         graceful_restart_time=None,
     ):
         self.name = name
@@ -59,6 +72,9 @@ class SpeakerConfig:
             update_packing = profile != "gobgp"
         self.update_packing = update_packing
         self.mrai = mrai
+        if mrai_mode not in MRAI_MODES:
+            raise ValueError(f"bad mrai_mode {mrai_mode!r}")
+        self.mrai_mode = mrai_mode
         self.graceful_restart_time = graceful_restart_time
 
     @property
@@ -123,6 +139,11 @@ class BgpSpeaker:
         self._cpu_busy_until = 0.0
         self._pending_adverts = {}  # session.peer_id -> {prefix: route-or-None}
         self._flush_scheduled = False
+        # Per-peer MRAI modes: peers with a scheduled session flush, and
+        # (per_prefix mode) the earliest instant each (peer, prefix) may
+        # be advertised again.
+        self._session_flush_scheduled = set()
+        self._prefix_pacing = {}
         # Tracing: trace ids of the received UPDATEs whose changes are
         # queued for the next MRAI flush; the flush's outgoing ``propagate``
         # spans carry them as ``links`` (fan-out breaks single parentage).
@@ -403,9 +424,69 @@ class BgpSpeaker:
             self._pending_adverts.setdefault(session.peer_id, {})[prefix] = new
             if ambient is not None:
                 self._pending_advert_links.add(ambient.trace_id)
-        if self._pending_adverts and not self._flush_scheduled:
+            if self.config.mrai_mode != "per_speaker":
+                self._schedule_session_flush(session)
+        if (
+            self.config.mrai_mode == "per_speaker"
+            and self._pending_adverts
+            and not self._flush_scheduled
+        ):
             self._flush_scheduled = True
             self.engine.schedule(self.config.mrai, self._flush_adverts)
+
+    # -- per-peer / per-prefix MRAI (DESIGN.md §13) ------------------------
+
+    def _session_mrai(self, session):
+        mrai = session.config.mrai
+        return self.config.mrai if mrai is None else mrai
+
+    def _schedule_session_flush(self, session, delay=None):
+        peer_id = session.peer_id
+        if peer_id in self._session_flush_scheduled:
+            return
+        self._session_flush_scheduled.add(peer_id)
+        self.engine.schedule(
+            self._session_mrai(session) if delay is None else delay,
+            self._flush_session_adverts, peer_id,
+        )
+
+    def _flush_session_adverts(self, peer_id):
+        self._session_flush_scheduled.discard(peer_id)
+        if not self.running:
+            return
+        changes = self._pending_adverts.pop(peer_id, None)
+        if not changes:
+            return
+        session = self.sessions.get(peer_id)
+        if session is None:
+            return
+        if self.config.mrai_mode == "per_prefix":
+            now = self.engine.now
+            mrai = self._session_mrai(session)
+            ready, deferred = {}, {}
+            for prefix, route in changes.items():
+                if self._prefix_pacing.get((peer_id, prefix), 0.0) <= now + 1e-12:
+                    ready[prefix] = route
+                else:
+                    deferred[prefix] = route
+            if deferred:
+                self._pending_adverts[peer_id] = deferred
+                earliest = min(
+                    self._prefix_pacing[(peer_id, prefix)] for prefix in deferred
+                )
+                self._schedule_session_flush(session, delay=earliest - now)
+            for prefix in ready:
+                self._prefix_pacing[(peer_id, prefix)] = now + mrai
+            changes = ready
+            if not changes:
+                return
+        self._flushing_links = tuple(sorted(self._pending_advert_links))
+        try:
+            self._flush_pending({peer_id: changes})
+        finally:
+            self._flushing_links = ()
+            if not self._pending_adverts:
+                self._pending_advert_links = set()
 
     def _flush_adverts(self):
         self._flush_scheduled = False
@@ -420,6 +501,9 @@ class BgpSpeaker:
 
     def _flush_adverts_inner(self):
         pending, self._pending_adverts = self._pending_adverts, {}
+        self._flush_pending(pending)
+
+    def _flush_pending(self, pending):
         # Group sessions whose queued change-set is identical (the common
         # fan-out case: one received UPDATE propagating to N-1 peers), so
         # advertise_routes_to_sessions can export and pack once per group

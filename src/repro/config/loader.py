@@ -33,6 +33,8 @@ Example spec::
 
 import json
 
+from repro.bgp.policy import policy_from_dict
+from repro.bgp.speaker import MRAI_MODES
 from repro.core.system import PeerNeighborSpec, TensorSystem
 from repro.workloads.topology import build_remote_peer
 
@@ -97,6 +99,13 @@ def validate_spec(spec):
         service_addrs.add(addr)
         _require(pair, "local_as", path, int)
         _require(pair, "router_id", path, str)
+        mrai_mode = pair.get("mrai_mode", "per_speaker")
+        if mrai_mode not in MRAI_MODES:
+            raise ConfigError(f"{path}.mrai_mode", f"unknown mode {mrai_mode!r}")
+        if pair.get("mrai") is not None and not isinstance(
+            pair["mrai"], (int, float)
+        ):
+            raise ConfigError(f"{path}.mrai", "must be a number of seconds")
         neighbors = _require(pair, "neighbors", path, list)
         if not neighbors:
             raise ConfigError(f"{path}.neighbors", "a pair needs >= 1 neighbor")
@@ -107,6 +116,19 @@ def validate_spec(spec):
             mode = neighbor.get("mode", "passive")
             if mode not in ("active", "passive"):
                 raise ConfigError(f"{n_path}.mode", f"bad mode {mode!r}")
+            if neighbor.get("mrai") is not None and not isinstance(
+                neighbor["mrai"], (int, float)
+            ):
+                raise ConfigError(f"{n_path}.mrai", "must be a number of seconds")
+            for knob in ("bfd_tx_interval", "bfd_detect_mult"):
+                if neighbor.get(knob) is not None and not isinstance(
+                    neighbor[knob], (int, float)
+                ):
+                    raise ConfigError(f"{n_path}.{knob}", "must be a number")
+            for side in ("import_policy", "export_policy"):
+                policy = neighbor.get(side)
+                if policy is not None:
+                    _require(policy, "name", f"{n_path}.{side}", str)
 
     for index, remote in enumerate(spec.get("remotes", ())):
         path = f"$.remotes[{index}]"
@@ -162,6 +184,11 @@ def build_system(spec, start=True):
                 hold_time=neighbor.get("hold_time", 90),
                 keepalive_interval=neighbor.get("keepalive_interval", 30),
                 bfd=neighbor.get("bfd", True),
+                bfd_tx_interval=neighbor.get("bfd_tx_interval"),
+                bfd_detect_mult=neighbor.get("bfd_detect_mult"),
+                mrai=neighbor.get("mrai"),
+                import_policy=policy_from_dict(neighbor.get("import_policy")),
+                export_policy=policy_from_dict(neighbor.get("export_policy")),
             )
             for neighbor in pair_spec["neighbors"]
         ]
@@ -175,6 +202,8 @@ def build_system(spec, start=True):
             neighbors=neighbors,
             config_entries=pair_spec.get("config_entries", 100),
             preheat_backup=pair_spec.get("preheat_backup", True),
+            mrai=pair_spec.get("mrai"),
+            mrai_mode=pair_spec.get("mrai_mode", "per_speaker"),
         )
     remotes = {}
     for remote_spec in spec.get("remotes", ()):

@@ -15,7 +15,7 @@ from repro.bfd.packet import BfdState
 from repro.bfd.process import BfdProcess
 from repro.bgp.peer import PeerConfig
 from repro.bgp.prefixes import Prefix
-from repro.bgp.speaker import SpeakerConfig
+from repro.bgp.speaker import DEFAULT_MRAI, SpeakerConfig
 from repro.containers.host import HostMachine, ProcessMonitor
 from repro.control.controller import Controller
 from repro.control.fencing import FencingRegistry
@@ -48,7 +48,9 @@ class PeerNeighborSpec:
     """One remote BGP neighbour of a pair."""
 
     def __init__(self, remote_addr, remote_as, vrf_name="default", mode="active",
-                 hold_time=90, keepalive_interval=30, bfd=True):
+                 hold_time=90, keepalive_interval=30, bfd=True,
+                 bfd_tx_interval=None, bfd_detect_mult=None, mrai=None,
+                 import_policy=None, export_policy=None):
         self.remote_addr = remote_addr
         self.remote_as = remote_as
         self.vrf_name = vrf_name
@@ -56,6 +58,13 @@ class PeerNeighborSpec:
         self.hold_time = hold_time
         self.keepalive_interval = keepalive_interval
         self.bfd = bfd
+        #: BFD timer overrides; ``None`` uses the calibrated defaults.
+        self.bfd_tx_interval = bfd_tx_interval
+        self.bfd_detect_mult = bfd_detect_mult
+        #: Per-peer MRAI override (effective under per-peer MRAI modes).
+        self.mrai = mrai
+        self.import_policy = import_policy
+        self.export_policy = export_policy
 
     def to_peer_config(self):
         return PeerConfig(
@@ -65,6 +74,9 @@ class PeerNeighborSpec:
             mode=self.mode,
             hold_time=self.hold_time,
             keepalive_interval=self.keepalive_interval,
+            mrai=self.mrai,
+            import_policy=self.import_policy,
+            export_policy=self.export_policy,
         )
 
 
@@ -200,7 +212,8 @@ class TensorSystem:
 
     def create_pair(self, name, primary_machine, backup_machine, service_addr,
                     local_as, router_id, neighbors, config_entries=100,
-                    preheat_backup=True, profile="tensor"):
+                    preheat_backup=True, profile="tensor", mrai=None,
+                    mrai_mode="per_speaker"):
         pair = TensorPair(
             self,
             name,
@@ -213,6 +226,8 @@ class TensorSystem:
             config_entries=config_entries,
             preheat_backup=preheat_backup,
             profile=profile,
+            mrai=mrai,
+            mrai_mode=mrai_mode,
         )
         self.pairs[name] = pair
         self.controller.register_pair(pair)
@@ -267,7 +282,8 @@ class TensorPair:
 
     def __init__(self, system, name, primary_machine, backup_machine, service_addr,
                  local_as, router_id, neighbors, config_entries=100,
-                 preheat_backup=True, profile="tensor"):
+                 preheat_backup=True, profile="tensor", mrai=None,
+                 mrai_mode="per_speaker"):
         self.system = system
         self.engine = system.engine
         self.name = name
@@ -278,6 +294,8 @@ class TensorPair:
         self.config_entries = config_entries
         self.preheat_backup = preheat_backup
         self.profile = profile
+        self.mrai = mrai
+        self.mrai_mode = mrai_mode
 
         self.active_machine = primary_machine
         self.standby_machine = backup_machine
@@ -367,7 +385,11 @@ class TensorPair:
         self.speaker = TensorBgpSpeaker(
             self.engine,
             self.stack,
-            SpeakerConfig(self.name, self.local_as, self.router_id, profile=self.profile),
+            SpeakerConfig(
+                self.name, self.local_as, self.router_id, profile=self.profile,
+                mrai=self.mrai if self.mrai is not None else DEFAULT_MRAI,
+                mrai_mode=self.mrai_mode,
+            ),
             self.pipeline,
             self.name,
             verify_reads=self.system.verify_reads,
@@ -382,6 +404,11 @@ class TensorPair:
                 self.speaker.add_peer(neighbor.to_peer_config())
             if neighbor.bfd:
                 prior = self._bfd_disc_registry.get((neighbor.vrf_name, neighbor.remote_addr))
+                bfd_kwargs = {}
+                if neighbor.bfd_tx_interval is not None:
+                    bfd_kwargs["tx_interval"] = neighbor.bfd_tx_interval
+                if neighbor.bfd_detect_mult is not None:
+                    bfd_kwargs["detect_mult"] = neighbor.bfd_detect_mult
                 session = self.bfd.add_session(
                     neighbor.vrf_name,
                     neighbor.remote_addr,
@@ -389,6 +416,7 @@ class TensorPair:
                     my_disc=prior[0] if prior else None,
                     your_disc=prior[1] if prior else 0,
                     initial_state=BfdState.UP if (recovered and prior) else BfdState.DOWN,
+                    **bfd_kwargs,
                 )
                 self._bfd_disc_registry[(neighbor.vrf_name, neighbor.remote_addr)] = (
                     session.my_disc,

@@ -247,13 +247,25 @@ def generate_schedule(seed, db_failover=False):
 # ----------------------------------------------------------------------
 
 class ChaosResult:
-    """Outcome of one schedule run."""
+    """Outcome of one schedule run.
 
-    def __init__(self, schedule, suite, system, events_executed):
+    ``completed`` distinguishes a run that covered its whole horizon
+    (or halted *on purpose* at a violation) from one whose engine
+    stalled early: a partial run has no oracle verdict for the tail it
+    never executed, so "no violations" must not read as a pass.
+    """
+
+    def __init__(self, schedule, suite, system, events_executed,
+                 completed=True):
         self.schedule = schedule
         self.suite = suite
         self.system = system
         self.events_executed = events_executed
+        self.completed = completed
+
+    @property
+    def partial(self):
+        return not self.completed
 
     @property
     def violations(self):
@@ -431,8 +443,13 @@ class _PreparedRun:
         if not self._finished:
             self._finished = True
             _check_record_bookkeeping(self.injector, self.suite)
+        completed = (
+            self.halted
+            or self.system.engine.now + 1e-9 >= self.deadline
+        )
         return ChaosResult(
-            self.schedule, self.suite, self.system, self.executed
+            self.schedule, self.suite, self.system, self.executed,
+            completed=completed,
         )
 
 
@@ -551,6 +568,7 @@ class ChaosShardProgram:
             ),
             "rib": result.system.rib_digest(),
             "executed": result.events_executed,
+            "completed": result.completed,
         }
         store = result.system.trace_store
         if store is not None:
@@ -593,20 +611,82 @@ def chaos_corpus_horizon(seeds=CORPUS_SEEDS, db_failover=False):
 # shrinking
 # ----------------------------------------------------------------------
 
-def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
+class ShrinkBudget:
+    """Per-dimension rerun budget for shrinking.
+
+    The historical shrinker shared one ``max_runs`` pool across every
+    shrink dimension, so an expensive schedule pass (dropping dozens of
+    injections one at a time) could starve the config/topology passes
+    entirely — and nothing reported that it had.  Each dimension now
+    draws from its own pool, and :meth:`exhausted` names the pools that
+    ran dry so the caller can say *why* a repro is not smaller.
+    """
+
+    def __init__(self, limits):
+        self.limits = dict(limits)
+        self.used = {dimension: 0 for dimension in self.limits}
+
+    @classmethod
+    def split(cls, max_runs, config_share=0.25):
+        """The default split: schedule shrinking keeps the bulk of the
+        pool, config/topology shrinking gets its own reserved slice."""
+        config_runs = max(2, int(max_runs * config_share))
+        return cls({
+            "schedule": max(1, max_runs - config_runs),
+            "config": config_runs,
+        })
+
+    def take(self, dimension):
+        """Consume one run from ``dimension``; False once that pool is dry."""
+        if self.used[dimension] >= self.limits[dimension]:
+            return False
+        self.used[dimension] += 1
+        return True
+
+    def remaining(self, dimension):
+        return self.limits[dimension] - self.used[dimension]
+
+    @property
+    def total_used(self):
+        return sum(self.used.values())
+
+    def exhausted(self):
+        """Dimensions whose pool ran dry, sorted for stable reporting."""
+        return tuple(sorted(
+            dimension for dimension, limit in self.limits.items()
+            if self.used[dimension] >= limit
+        ))
+
+    def describe(self):
+        parts = ", ".join(
+            f"{dimension} {self.used[dimension]}/{self.limits[dimension]}"
+            for dimension in sorted(self.limits)
+        )
+        dry = self.exhausted()
+        return parts + (f" (exhausted: {', '.join(dry)})" if dry else "")
+
+
+def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40,
+                    budget=None):
     """Minimize ``schedule`` while it still trips an oracle.
 
     Deterministic greedy reduction: drop injections, drop workload
     bursts, halve burst sizes, zero the preloaded table, coarsen
     injection instants, then trim the horizon to just past the
     violation.  Returns ``(shrunk, final_result, runs_used)``.
-    """
-    runs = {"used": 0}
 
-    def still_fails(candidate):
-        if runs["used"] >= max_runs:
-            return None  # budget exhausted: stop shrinking
-        runs["used"] += 1
+    Schedule-shaped passes (injections, bursts, instants, horizon) and
+    config/topology passes (the preloaded table) draw from separate
+    pools of a :class:`ShrinkBudget` — pass your own ``budget`` to
+    control the split and inspect which dimension exhausted it
+    afterwards; ``max_runs`` alone uses :meth:`ShrinkBudget.split`.
+    """
+    if budget is None:
+        budget = ShrinkBudget.split(max_runs)
+
+    def still_fails(candidate, dimension):
+        if not budget.take(dimension):
+            return None  # this dimension's pool is dry: stop shrinking it
         result = run_schedule(candidate, hold_acks=hold_acks)
         violation = result.first_violation
         if violation is None:
@@ -616,22 +696,22 @@ def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
         return result
 
     best = schedule.copy()
-    result = still_fails(best)
+    result = still_fails(best, "schedule")
     if not result:
-        return best, None, runs["used"]
+        return best, None, budget.total_used
 
-    def try_mutation(mutate):
+    def try_mutation(mutate, dimension):
         nonlocal best, result
         candidate = best.copy()
         if mutate(candidate) is False:
             return
-        outcome = still_fails(candidate)
+        outcome = still_fails(candidate, dimension)
         if outcome:
             best, result = candidate, outcome
 
     # 1. drop injections, one at a time, until a fixed point
     changed = True
-    while changed and runs["used"] < max_runs:
+    while changed and budget.remaining("schedule") > 0:
         changed = False
         for index in range(len(best.injections) - 1, -1, -1):
             before = len(best.injections)
@@ -639,7 +719,7 @@ def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
             def drop(candidate, index=index):
                 del candidate.injections[index]
 
-            try_mutation(drop)
+            try_mutation(drop, "schedule")
             if len(best.injections) != before:
                 changed = True
     # 2. drop workload bursts
@@ -647,24 +727,26 @@ def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
         def drop(candidate, index=index):
             del candidate.workload[index]
 
-        try_mutation(drop)
+        try_mutation(drop, "schedule")
     # 3. halve remaining burst sizes
     for index in range(len(best.workload)):
-        while best.workload[index]["count"] > 25 and runs["used"] < max_runs:
+        while (best.workload[index]["count"] > 25
+               and budget.remaining("schedule") > 0):
             before = best.workload[index]["count"]
 
             def halve(candidate, index=index):
                 candidate.workload[index]["count"] //= 2
 
-            try_mutation(halve)
+            try_mutation(halve, "schedule")
             if best.workload[index]["count"] == before:
                 break
-    # 4. drop the preloaded table
+    # 4. drop the preloaded table (a config/topology knob: its pool is
+    # reserved so the schedule passes above cannot starve it)
     if best.initial_routes:
         def zero(candidate):
             candidate.initial_routes = 0
 
-        try_mutation(zero)
+        try_mutation(zero, "config")
     # 5. coarsen injection instants (whole seconds read better in repros)
     for index in range(len(best.injections)):
         def roundto(candidate, index=index):
@@ -673,7 +755,7 @@ def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
                 return False
             candidate.injections[index]["at"] = rounded
 
-        try_mutation(roundto)
+        try_mutation(roundto, "schedule")
     # 6. trim the horizon to just past the violation (violation times are
     # absolute; arming happens at >= 10 s, so this over-covers slightly —
     # the verification rerun below keeps it honest)
@@ -682,8 +764,8 @@ def shrink_schedule(schedule, hold_acks=True, expect_oracle=None, max_runs=40):
         def trim(candidate):
             candidate.duration = trimmed
 
-        try_mutation(trim)
-    return best, result, runs["used"]
+        try_mutation(trim, "schedule")
+    return best, result, budget.total_used
 
 
 # ----------------------------------------------------------------------
@@ -753,8 +835,10 @@ def write_repro_script(schedule, violation, hold_acks, path):
 def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
     """The failure path of a sweep: shrink, write the repro, describe it."""
     violation = first_result.first_violation
+    budget = ShrinkBudget.split(40)
     shrunk, final, runs = shrink_schedule(
-        schedule, hold_acks=hold_acks, expect_oracle=violation.oracle
+        schedule, hold_acks=hold_acks, expect_oracle=violation.oracle,
+        budget=budget,
     )
     path = f"{out_dir}/chaos_repro_{schedule.seed}.py"
     write_repro_script(shrunk, violation, hold_acks, path)
@@ -764,8 +848,8 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
     )
     print(
         f"  shrunk to {len(shrunk.injections)} injection(s),"
-        f" {len(shrunk.workload)} burst(s) in {runs} rerun(s);"
-        f" repro: {path}"
+        f" {len(shrunk.workload)} burst(s) in {runs} rerun(s)"
+        f" [{budget.describe()}]; repro: {path}"
     )
     return shrunk, path
 
@@ -775,10 +859,25 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
 # ----------------------------------------------------------------------
 
 def _run_one(seed, hold_acks=True, out_dir=".", tracing=False,
-             db_failover=False):
+             db_failover=False, stop_on_violation=True):
+    """Run one seed; returns ``"ok"``, ``"violation"`` or ``"partial"``.
+
+    A *partial* run — the engine stalled before the deadline without a
+    violation halt — has no oracle verdict for the uncovered tail, so
+    it must never read as a pass.
+    """
     schedule = generate_schedule(seed, db_failover=db_failover)
-    result = run_schedule(schedule, hold_acks=hold_acks, tracing=tracing)
+    result = run_schedule(schedule, hold_acks=hold_acks, tracing=tracing,
+                          stop_on_violation=stop_on_violation)
     if result.first_violation is None:
+        if result.partial:
+            print(
+                f"seed {seed}: PARTIAL — engine stalled at"
+                f" {result.system.engine.now:.3f}s, before the"
+                f" {schedule.duration:.0f}s horizon; the uncovered tail"
+                " has no oracle verdict"
+            )
+            return "partial"
         traced = "traced, " if tracing else ""
         failover = "db-failover, " if db_failover else ""
         print(
@@ -787,9 +886,9 @@ def _run_one(seed, hold_acks=True, out_dir=".", tracing=False,
             f" {len(schedule.workload)} bursts, {schedule.neighbors} neighbors,"
             f" {schedule.duration:.0f}s virtual)"
         )
-        return True
+        return "ok"
     shrink_and_report(schedule, result, hold_acks, out_dir=out_dir)
-    return False
+    return "violation"
 
 
 def main(argv=None):
@@ -804,8 +903,12 @@ def main(argv=None):
                         help="run the fixed tier-1 corpus seeds")
     parser.add_argument("--ablation", action="store_true",
                         help="run with delayed ACKs disabled (must trip)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="do not halt a run at its first violation"
+                             " (collect them all; partial runs exit 2)")
     parser.add_argument("--out", default=".", help="repro script directory")
     args = parser.parse_args(argv)
+    stop_on_violation = not args.keep_going
 
     if args.ablation:
         seed = args.seed if args.seed is not None else 0
@@ -821,7 +924,9 @@ def main(argv=None):
         return 0
 
     if args.seed is not None:
-        return 0 if _run_one(args.seed, out_dir=args.out) else 1
+        status = _run_one(args.seed, out_dir=args.out,
+                          stop_on_violation=stop_on_violation)
+        return {"ok": 0, "violation": 1, "partial": 2}[status]
 
     if args.corpus:
         seeds = [(seed, False, False) for seed in CORPUS_SEEDS]
@@ -832,14 +937,19 @@ def main(argv=None):
             (seed, False, False)
             for seed in range(args.seeds if args.seeds is not None else 10)
         ]
-    failures = 0
+    failures = partials = 0
     for seed, tracing, db_failover in seeds:
-        if not _run_one(seed, out_dir=args.out, tracing=tracing,
-                        db_failover=db_failover):
-            failures += 1
+        status = _run_one(seed, out_dir=args.out, tracing=tracing,
+                          db_failover=db_failover,
+                          stop_on_violation=stop_on_violation)
+        failures += status == "violation"
+        partials += status == "partial"
     total = len(seeds)
-    print(f"{total - failures}/{total} seeds passed")
-    return 1 if failures else 0
+    tail = f" ({partials} partial)" if partials else ""
+    print(f"{total - failures - partials}/{total} seeds passed{tail}")
+    if failures:
+        return 1
+    return 2 if partials else 0
 
 
 if __name__ == "__main__":

@@ -80,6 +80,11 @@ class OracleSuite:
         self.check_bfd = check_bfd
         self.stop_on_violation = stop_on_violation
         self.violations = []
+        # Coverage signal (DESIGN.md §13): which oracles actually judged
+        # meaningful state this run — not merely "had nothing to observe".
+        # An oracle that trips is always exercised; an exercised-but-green
+        # oracle is a different behaviour than one that never engaged.
+        self.exercised = set()
         self.allowed_fences = set()
         self.downtime = 0.0
         # workload model: per remote, {prefix_str: True} of live originations
@@ -188,6 +193,7 @@ class OracleSuite:
                 break
         if meta is None:
             return  # pre-session ACKs (handshake) carry no BGP data
+        self.exercised.add("ack_durability")
         conn_id = (
             f"{meta['vrf']}|{meta['local_addr']}:{meta['local_port']}"
             f"|{meta['remote_addr']}:{meta['remote_port']}"
@@ -248,6 +254,7 @@ class OracleSuite:
             up = session.established or session.gr_timer.armed
             if up:
                 self._seen_established[index] = True
+                self.exercised.add("session_continuity")
                 if self._down_since[index] is not None:
                     self.downtime += now - self._down_since[index]
                     self._down_since[index] = None
@@ -269,6 +276,7 @@ class OracleSuite:
         speaker = self.pair.speaker
         held = speaker.tcp_queue.held_count() if speaker is not None else 0
         if held:
+            self.exercised.add("ack_release_liveness")
             if self._held_since is None:
                 self._held_since = now
             elif now - self._held_since > LIVENESS_STREAK_LIMIT:
@@ -291,6 +299,7 @@ class OracleSuite:
             return
         locked = len(pipeline.locks.held_keys()) if pipeline is not None else 0
         if locked:
+            self.exercised.add("lock_liveness")
             if self._locked_since is None:
                 self._locked_since = now
             elif now - self._locked_since > LIVENESS_STREAK_LIMIT:
@@ -312,7 +321,10 @@ class OracleSuite:
             )
 
     def _check_fencing(self, _now):
-        stale = set(self.system.fencing.fenced_machines()) - self.allowed_fences
+        fenced = set(self.system.fencing.fenced_machines())
+        if fenced:
+            self.exercised.add("fencing")
+        stale = fenced - self.allowed_fences
         if stale:
             self._violate(
                 "fencing",
@@ -321,6 +333,8 @@ class OracleSuite:
             )
 
     def _check_convergence(self, _now):
+        if any(self.live):
+            self.exercised.add("convergence")
         expected_by_vrf = {}
         for index, vrf_name in enumerate(self.vrfs):
             expected_by_vrf.setdefault(vrf_name, set()).update(self.live[index])
@@ -365,6 +379,7 @@ class OracleSuite:
             return
         for index, (remote, _session) in enumerate(self.remotes):
             for bfd_session in remote.bfd.sessions.values():
+                self.exercised.add("bfd_continuity")
                 if bfd_session.state is not BfdState.UP:
                     self._violate(
                         "bfd_continuity",
@@ -377,6 +392,7 @@ class OracleSuite:
         if speaker is None or not hasattr(speaker, "storage_footprint"):
             return
         bound = STORAGE_BOUND_BYTES * max(1, len(self.remotes))
+        self.exercised.add("storage_bound")
         footprint = speaker.storage_footprint(self.system.db.store)
         if footprint >= bound:
             self._violate(
@@ -393,6 +409,7 @@ class OracleSuite:
         store = self.trace_store
         if store is None:
             return
+        self.exercised.add("phase_latency")
         problems = store.delayed_ack_violations()
         for problem in problems[self._reported_phase_violations:]:
             self._violate("phase_latency", problem)
@@ -401,10 +418,19 @@ class OracleSuite:
     # ------------------------------------------------------------------
 
     def _violate(self, oracle, detail):
+        self.exercised.add(oracle)
         violation = Violation(self.system.engine.now, oracle, detail)
         self.violations.append(violation)
         if self.stop_on_violation:
             self.system.engine.stop()
+
+    def verdict_bitmap(self):
+        """Stable ``(oracle, tripped)`` pairs over every oracle that
+        engaged this run — the oracle axis of the fuzzer's coverage key
+        (DESIGN.md §13).  Pure function of the run's observations."""
+        tripped = {violation.oracle for violation in self.violations}
+        names = sorted(tripped | self.exercised)
+        return tuple((name, name in tripped) for name in names)
 
     @property
     def first_violation(self):

@@ -1,0 +1,39 @@
+"""Coverage-guided config/topology fuzzing (DESIGN.md §13).
+
+The chaos engine (§9) mutates only the *failure schedule* over a fixed
+topology.  The fuzzer widens the search to the whole input cross-product
+— peer-graph shape, VRF layout, splitting plan, MRAI pacing mode and
+timers, BFD timers, routing policies, *and* the failure schedule —
+driven by a coverage signal derived from the instrumentation the repo
+already has: oracle verdict bitmaps, trace-store phase shapes and
+executed-event buckets.  Specs that reach novel coverage stay in the
+corpus and are mutated further; specs that trip an oracle are shrunk
+across both schedule and config/topology dimensions into replayable
+``fuzz_repro_<seed>.py`` scripts.
+"""
+
+from repro.fuzz.build import (
+    FuzzResult,
+    build_fuzz_shard,
+    fuzz_corpus_specs,
+    run_fuzz_spec,
+)
+from repro.fuzz.coverage import coverage_key, profile_from_chaos, run_profile
+from repro.fuzz.loop import fuzz_loop, shrink_fuzz_spec, write_fuzz_repro
+from repro.fuzz.spec import FuzzSpec, generate_fuzz_spec, mutate_fuzz_spec
+
+__all__ = [
+    "FuzzResult",
+    "FuzzSpec",
+    "build_fuzz_shard",
+    "coverage_key",
+    "fuzz_corpus_specs",
+    "fuzz_loop",
+    "generate_fuzz_spec",
+    "mutate_fuzz_spec",
+    "profile_from_chaos",
+    "run_fuzz_spec",
+    "run_profile",
+    "shrink_fuzz_spec",
+    "write_fuzz_repro",
+]

@@ -1,0 +1,489 @@
+"""Materialize a FuzzSpec into a TensorSystem and run it under oracles.
+
+The builder hook lives next to ``chaos._build_system`` in spirit: one
+pure function of the spec.  The differences the fuzzer introduces —
+multiple split pairs from :func:`~repro.core.splitting.plan_split`,
+per-neighbor BFD/MRAI timers, routing policies — each get their own
+knob threaded through the existing :class:`PeerNeighborSpec` /
+``create_pair`` surface, so a fuzz topology is an ordinary deployment
+the config loader could also have built.
+
+Each pair gets its own :class:`FuzzOracleSuite` (the wire-tap ACK oracle
+filters by service address, so suites do not cross-talk); convergence is
+judged against workload intent *filtered through the import policies*,
+keeping the oracle a pure model even when a policy censors a block.
+"""
+
+from repro.bgp.policy import policy_from_dict
+from repro.core.system import PeerNeighborSpec, TensorSystem
+from repro.failures.chaos import CHECK_QUANTUM
+from repro.failures.injector import FailureInjector
+from repro.failures.oracles import OracleSuite
+from repro.fuzz.spec import FuzzSpec, generate_fuzz_spec, validate_fuzz_spec
+from repro.sim.rand import DeterministicRandom
+from repro.workloads.topology import build_remote_peer
+from repro.workloads.updates import RouteGenerator
+
+
+class FuzzOracleSuite(OracleSuite):
+    """An OracleSuite whose convergence model is policy-aware.
+
+    ``import_policies[i]`` is the gateway's import RouteMap towards
+    remote ``i`` (or None).  The expected Loc-RIB is the live originated
+    set *minus* whatever the import policy denies — evaluated on the
+    recorded origination attributes, never read back from the system.
+    """
+
+    def __init__(self, system, pair, remotes, import_policies, **kwargs):
+        super().__init__(system, pair, remotes, **kwargs)
+        self.import_policies = list(import_policies)
+        # prefix_str -> (Prefix, PathAttributes) per remote, recorded at
+        # origination time so policy evaluation replays the intent
+        self.attrs = [dict() for _ in self.remotes]
+
+    def note_originate_routes(self, remote_index, routes):
+        recorded = self.attrs[remote_index]
+        for prefix, attributes in routes:
+            recorded[str(prefix)] = (prefix, attributes)
+        self.note_originate(remote_index, [p for p, _a in routes])
+
+    def _accepted(self, remote_index):
+        """The live set of ``remote_index`` after the gateway's import
+        policy — what the Loc-RIB (and other peers) should see."""
+        policy = self.import_policies[remote_index]
+        live = self.live[remote_index]
+        if policy is None:
+            return set(live)
+        recorded = self.attrs[remote_index]
+        accepted = set()
+        for prefix_str in live:
+            prefix, attributes = recorded[prefix_str]
+            if policy.evaluate(prefix, attributes) is not None:
+                accepted.add(prefix_str)
+        return accepted
+
+    def _check_convergence(self, _now):
+        if any(self.live):
+            self.exercised.add("convergence")
+        expected_by_vrf = {}
+        for index, vrf_name in enumerate(self.vrfs):
+            expected_by_vrf.setdefault(vrf_name, set()).update(
+                self._accepted(index)
+            )
+        for vrf_name, expected in expected_by_vrf.items():
+            vrf = self.pair.speaker.vrfs.get(vrf_name)
+            actual = set() if vrf is None else {
+                str(prefix) for prefix in vrf.loc_rib.prefixes()
+            }
+            if actual != expected:
+                missing = sorted(expected - actual)[:3]
+                extra = sorted(actual - expected)[:3]
+                self._violate(
+                    "convergence",
+                    f"gateway Loc-RIB[{vrf_name}] has {len(actual)} prefixes,"
+                    f" oracle RIB has {len(expected)}"
+                    f" (missing={missing} extra={extra})",
+                )
+        for index, (remote, session) in enumerate(self.remotes):
+            vrf_name = self.vrfs[index]
+            others = set()
+            for other_index, other_vrf in enumerate(self.vrfs):
+                if other_index != index and other_vrf == vrf_name:
+                    others.update(self._accepted(other_index))
+            if not others:
+                continue
+            remote_vrf = remote.speaker.vrfs.get(session.config.vrf_name)
+            actual = set() if remote_vrf is None else {
+                str(prefix) for prefix in remote_vrf.loc_rib.prefixes()
+            }
+            missing = others - actual
+            if missing:
+                self._violate(
+                    "convergence",
+                    f"remote{index} is missing {len(missing)} cross-peer"
+                    f" prefix(es), e.g. {sorted(missing)[:3]}",
+                )
+
+
+class FuzzResult:
+    """Outcome of one spec run: per-pair suites, aggregated verdicts."""
+
+    def __init__(self, spec, suites, system, events_executed, completed):
+        self.spec = spec
+        self.suites = suites
+        self.system = system
+        self.events_executed = events_executed
+        self.completed = completed
+
+    @property
+    def partial(self):
+        return not self.completed
+
+    @property
+    def violations(self):
+        merged = [v for suite in self.suites for v in suite.violations]
+        merged.sort(key=lambda violation: violation.time)
+        return merged
+
+    @property
+    def first_violation(self):
+        violations = self.violations
+        return violations[0] if violations else None
+
+    def verdict_bitmap(self):
+        """Per-oracle (tripped, exercised) merged across every suite."""
+        merged = {}
+        for suite in self.suites:
+            for name, tripped in suite.verdict_bitmap():
+                merged[name] = merged.get(name, False) or tripped
+        return tuple(sorted(merged.items()))
+
+    def summary(self):
+        violations = self.violations
+        if not violations:
+            return "all oracles passed"
+        head = violations[0]
+        return (
+            f"{len(violations)} violation(s); first: {head.oracle}"
+            f" @{head.time:.3f} — {head.detail}"
+        )
+
+
+class _FuzzWorkloadDriver:
+    """Chaos-style burst driver routed to the right pair's suite."""
+
+    def __init__(self, spec, remotes, suite_of_remote, rand):
+        self.remotes = remotes
+        self.suite_of_remote = suite_of_remote  # global idx -> (suite, local idx)
+        self.gens = [
+            RouteGenerator(
+                rand.fork(f"workload:{index}"),
+                64512 + index,
+                next_hop=spec.remote_addr(index),
+            )
+            for index in range(len(remotes))
+        ]
+
+    def fire(self, event):
+        index = event["remote"]
+        remote, session = self.remotes[index]
+        suite, local = self.suite_of_remote[index]
+        vrf_name = session.config.vrf_name
+        gen = self.gens[index]
+        if event["action"] == "advertise":
+            routes = gen.routes(
+                event["count"], base=event["base"], length=event["length"]
+            )
+            for prefix, attributes in routes:
+                remote.speaker.originate(vrf_name, prefix, attributes)
+            suite.note_originate_routes(local, routes)
+        else:
+            prefixes = gen.prefixes(
+                event["count"], base=event["base"], length=event["length"]
+            )
+            live = suite.live[local]
+            withdrawn = [p for p in prefixes if str(p) in live]
+            for prefix in withdrawn:
+                remote.speaker.withdraw_originated(vrf_name, prefix)
+            suite.note_withdraw(local, withdrawn)
+
+
+def build_fuzz_system(spec, hold_acks=True, tracing=False):
+    """A converged system for ``spec``: one TensorPair per planned split
+    container at ``10.10.<p>.1``, remotes linked to both machines.
+
+    Returns ``(system, pairs, remotes)`` where ``pairs`` is the ordered
+    list of ``(pair, [global neighbor indices])``.
+    """
+    validate_fuzz_spec(spec)
+    system = TensorSystem(
+        seed=spec.seed, hold_acks=hold_acks, tracing=tracing
+    )
+    m1 = system.add_machine("gw-1", "10.1.0.1")
+    m2 = system.add_machine("gw-2", "10.2.0.1")
+    plan = spec.split_plan()
+    addr_to_index = {
+        spec.remote_addr(index): index
+        for index in range(len(spec.neighbors))
+    }
+    pairs = []
+    for p, assignment in enumerate(plan.assignments):
+        members = [addr_to_index[peering.remote_addr]
+                   for peering in assignment.peerings]
+        specs = []
+        for index in members:
+            neighbor = spec.neighbors[index]
+            specs.append(PeerNeighborSpec(
+                spec.remote_addr(index),
+                neighbor["remote_as"],
+                vrf_name=neighbor["vrf"],
+                mode="passive",
+                hold_time=neighbor["hold_time"],
+                keepalive_interval=neighbor["keepalive_interval"],
+                bfd_tx_interval=neighbor["bfd_tx_interval"],
+                bfd_detect_mult=neighbor["bfd_detect_mult"],
+                mrai=neighbor["mrai"],
+                import_policy=policy_from_dict(neighbor["import_policy"]),
+                export_policy=policy_from_dict(neighbor["export_policy"]),
+            ))
+        pair = system.create_pair(
+            f"pair{p}", m1, m2,
+            service_addr=f"10.10.{p}.1",
+            local_as=65001,
+            router_id=f"10.10.{p}.1",
+            neighbors=specs,
+            mrai=spec.mrai,
+            mrai_mode=spec.mrai_mode,
+        )
+        pairs.append((pair, members))
+
+    remotes = []
+    pair_of_index = {}
+    for pair, members in pairs:
+        for index in members:
+            pair_of_index[index] = pair
+    for index, neighbor in enumerate(spec.neighbors):
+        remote = build_remote_peer(
+            system, f"remote{index}", spec.remote_addr(index),
+            neighbor["remote_as"], link_machines=[m1, m2],
+        )
+        session = remote.peer_with(
+            pair_of_index[index].service_addr, 65001,
+            vrf_name=neighbor["vrf"], mode="active",
+            hold_time=neighbor["hold_time"],
+            keepalive_interval=neighbor["keepalive_interval"],
+        )
+        remotes.append((remote, session))
+
+    for pair, _members in pairs:
+        pair.start()
+    for remote, _session in remotes:
+        remote.start()
+    system.engine.advance(10.0)
+    return system, pairs, remotes
+
+
+class FuzzPreparedRun:
+    """Built, converged, armed — the fuzz twin of chaos ``_PreparedRun``,
+    driving N pairs' suites from one schedule."""
+
+    def __init__(self, spec, hold_acks=True, stop_on_violation=True,
+                 tracing=False):
+        self.spec = spec
+        rand = DeterministicRandom(spec.seed)
+        self.system, self.pairs, self.remotes = build_fuzz_system(
+            spec, hold_acks=hold_acks, tracing=tracing
+        )
+        engine = self.system.engine
+        self.suites = []
+        suite_of_remote = {}
+        for pair, members in self.pairs:
+            pair_remotes = [self.remotes[index] for index in members]
+            suite = FuzzOracleSuite(
+                self.system, pair, pair_remotes,
+                [policy_from_dict(spec.neighbors[index]["import_policy"])
+                 for index in members],
+                stop_on_violation=stop_on_violation,
+            )
+            self.suites.append(suite)
+            for local, index in enumerate(members):
+                suite_of_remote[index] = (suite, local)
+        self.driver = _FuzzWorkloadDriver(
+            spec, self.remotes, suite_of_remote, rand
+        )
+
+        if spec.initial_routes:
+            for index, (remote, session) in enumerate(self.remotes):
+                gen = self.driver.gens[index]
+                routes = gen.routes(
+                    spec.initial_routes, base=f"{10 + index}.248.0.0"
+                )
+                remote.speaker.originate_many(
+                    session.config.vrf_name, routes
+                )
+                remote.speaker.readvertise(session)
+                suite, local = suite_of_remote[index]
+                recorded = suite.attrs[local]
+                for prefix, attributes in routes:
+                    recorded[str(prefix)] = (prefix, attributes)
+                suite.live[local].update(
+                    {str(prefix): True for prefix, _a in routes}
+                )
+            engine.advance(5.0)
+        for suite in self.suites:
+            suite.arm()
+
+        self.injector = FailureInjector(self.system)
+        for event in spec.injections:
+            engine.schedule(event["at"], self._fire_injection, event)
+        for event in spec.workload:
+            engine.schedule(event["at"], self.driver.fire, event)
+
+        self.deadline = engine.now + spec.duration
+        self.executed = 0
+        self.halted = False
+        self._finished = False
+
+    @property
+    def engine(self):
+        return self.system.engine
+
+    def _fire_injection(self, event):
+        """Resolve the pair and machine at fire time (roles swap)."""
+        kind = event["scenario"]
+        pair, _members = self.pairs[event.get("pair", 0)]
+        machine = (
+            pair.standby_machine if event["target"] == "standby"
+            else pair.active_machine
+        )
+        # machine-level and agent scenarios affect every pair's oracle
+        # model (fencing allowances, the BFD relay); pair-scoped ones
+        # only the owning suite
+        scoped = kind in ("application", "container", "container_network")
+        for suite in self.suites:
+            if scoped and suite.pair is not pair:
+                continue
+            suite.note_injection(
+                kind, target_name=machine.name,
+                duration=event["duration"] or 0.0,
+            )
+        if not scoped:
+            for suite in self.suites:
+                suite.note_activity()
+        injector = self.injector
+        if kind == "application":
+            injector.application_failure(pair)
+        elif kind == "container":
+            injector.container_failure(pair)
+        elif kind == "container_network":
+            injector.container_network_failure(pair)
+        elif kind == "host_machine":
+            injector.host_machine_failure(machine)
+        elif kind == "host_network":
+            injector.host_network_failure(machine)
+        elif kind == "transient_network":
+            injector.transient_host_network_failure(machine, event["duration"])
+        elif kind == "database_blip":
+            injector.transient_database_failure(event["duration"])
+        elif kind == "database_failover":
+            injector.database_failover()
+        elif kind == "agent":
+            injector.agent_failure()
+        else:
+            raise ValueError(f"unknown fuzz scenario {kind!r}")
+
+    def _check_all(self, now):
+        for suite in self.suites:
+            suite.check(now)
+
+    def step_to(self, until):
+        engine = self.system.engine
+        target = min(until, self.deadline)
+        if self.halted or target <= engine.now:
+            return 0
+        executed = engine.run_stepped(
+            target, self._check_all, quantum=CHECK_QUANTUM
+        )
+        self.executed += executed
+        if any(
+            suite.stop_on_violation and suite.first_violation is not None
+            for suite in self.suites
+        ):
+            self.halted = True
+        return executed
+
+    def finish(self):
+        from repro.failures.chaos import _check_record_bookkeeping
+
+        if not self._finished:
+            self._finished = True
+            _check_record_bookkeeping(self.injector, self.suites[0])
+        completed = (
+            self.halted
+            or self.system.engine.now + 1e-9 >= self.deadline
+        )
+        return FuzzResult(
+            self.spec, self.suites, self.system, self.executed, completed
+        )
+
+
+def run_fuzz_spec(spec, hold_acks=True, stop_on_violation=True,
+                  tracing=False):
+    """Replay ``spec`` under continuous oracles; pure function of
+    ``(spec, hold_acks, tracing)`` like :func:`chaos.run_schedule`."""
+    prepared = FuzzPreparedRun(
+        spec, hold_acks=hold_acks,
+        stop_on_violation=stop_on_violation, tracing=tracing,
+    )
+    prepared.step_to(prepared.deadline)
+    return prepared.finish()
+
+
+# ----------------------------------------------------------------------
+# fuzz specs as parallel-runtime shards
+# ----------------------------------------------------------------------
+
+class FuzzShardProgram:
+    """One fuzz spec as a *closed* shard, mirroring ChaosShardProgram:
+    the parallel runtime distributes specs across workers while each
+    run stays the bit-identical sequential execution."""
+
+    def __init__(self, shard_id, params, boundary):
+        spec_data = params.get("spec")
+        spec = (
+            FuzzSpec.from_dict(spec_data)
+            if spec_data is not None
+            else generate_fuzz_spec(params["seed"])
+        )
+        self.prepared = FuzzPreparedRun(
+            spec,
+            hold_acks=params.get("hold_acks", True),
+            stop_on_violation=params.get("stop_on_violation", True),
+            tracing=params.get("tracing", False),
+        )
+        self.engine = self.prepared.system.engine
+        self._result = None
+
+    def run_window(self, until):
+        return self.prepared.step_to(until)
+
+    def finalize(self):
+        self._result = self.prepared.finish()
+
+    def results(self):
+        from repro.fuzz.coverage import coverage_key, run_profile
+
+        result = self._result or self.prepared.finish()
+        profile = run_profile(result)
+        return {
+            "seed": result.spec.seed,
+            "verdict": result.summary(),
+            "violations": tuple(
+                (v.time, v.oracle, v.detail) for v in result.violations
+            ),
+            "rib": result.system.rib_digest(),
+            "executed": result.events_executed,
+            "completed": result.completed,
+            "profile": profile,
+            "coverage_key": coverage_key(profile),
+        }
+
+
+def build_fuzz_shard(shard_id, params, boundary):
+    """Spawn-safe builder (``repro.fuzz.build:build_fuzz_shard``)."""
+    return FuzzShardProgram(shard_id, params, boundary)
+
+
+def fuzz_corpus_specs(specs, hold_acks=True, tracing=False):
+    """ShardSpecs running one FuzzSpec per shard (all closed shards)."""
+    from repro.sim.parallel.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            f"fuzz{spec.seed}",
+            "repro.fuzz.build:build_fuzz_shard",
+            params={"spec": spec.to_dict(), "hold_acks": hold_acks,
+                    "tracing": tracing},
+        )
+        for spec in specs
+    ]

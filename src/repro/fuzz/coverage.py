@@ -1,0 +1,113 @@
+"""The coverage signal: run behaviour -> stable key (DESIGN.md §13).
+
+A run's *profile* is a canonical, JSON-safe digest of what the run did
+rather than what it was configured to do:
+
+- ``topology`` — pair count, neighbor count, sorted VRF group sizes,
+  MRAI mode, policy counts (the materialized shape);
+- ``oracles`` — the merged verdict bitmap: per oracle, whether it was
+  exercised and whether it tripped (:meth:`OracleSuite.verdict_bitmap`);
+- ``phases`` — the trace store's log2-bucketed span counts per phase
+  (:meth:`TraceStore.phase_shape`), empty when untraced;
+- ``injected`` — the set of injection kinds that actually fired;
+- ``executed`` — the log2 bucket of events executed after arming.
+
+Two runs with the same key behaved the same way at this granularity;
+novelty search keeps one exemplar per key.  Profiles are pure functions
+of deterministic run state, so the key is identical under ``workers=1``
+and ``workers=N`` of the parallel runtime — that is tested.
+"""
+
+import hashlib
+import json
+
+
+def _executed_bucket(count):
+    return int(count).bit_length()
+
+
+def coverage_key(profile):
+    """A short stable hash of a canonicalized profile."""
+    canonical = json.dumps(profile, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _canonical_phases(shape):
+    return [[name, bucket] for name, bucket in shape]
+
+
+def run_profile(result):
+    """Profile of a :class:`~repro.fuzz.build.FuzzResult`."""
+    spec = result.spec
+    store = result.system.trace_store
+    return {
+        "topology": {
+            "pairs": spec.pair_count(),
+            "neighbors": len(spec.neighbors),
+            "vrf_groups": list(spec.vrf_group_sizes()),
+            "mrai_mode": spec.mrai_mode,
+            "policies": [
+                sum(1 for n in spec.neighbors if n["import_policy"]),
+                sum(1 for n in spec.neighbors if n["export_policy"]),
+            ],
+        },
+        "oracles": [[name, tripped]
+                    for name, tripped in result.verdict_bitmap()],
+        "phases": _canonical_phases(
+            store.phase_shape() if store is not None else ()
+        ),
+        "injected": sorted({event["scenario"]
+                            for event in spec.injections}),
+        "executed": _executed_bucket(result.events_executed),
+    }
+
+
+def profile_from_chaos(result):
+    """Profile of a chaos :class:`~repro.failures.chaos.ChaosResult`, in
+    the same shape, so fixed-corpus baselines and fuzz runs share one key
+    space.  The chaos topology is always one pair, no policies, speaker-
+    level MRAI."""
+    schedule = result.schedule
+    store = result.system.trace_store
+    if schedule.shared_vrf:
+        vrf_groups = [schedule.neighbors]
+    else:
+        vrf_groups = [1] * schedule.neighbors
+    return {
+        "topology": {
+            "pairs": 1,
+            "neighbors": schedule.neighbors,
+            "vrf_groups": vrf_groups,
+            "mrai_mode": "per_speaker",
+            "policies": [0, 0],
+        },
+        "oracles": [[name, tripped]
+                    for name, tripped in result.suite.verdict_bitmap()],
+        "phases": _canonical_phases(
+            store.phase_shape() if store is not None else ()
+        ),
+        "injected": sorted({event["scenario"]
+                            for event in schedule.injections}),
+        "executed": _executed_bucket(result.events_executed),
+    }
+
+
+def chaos_baseline_profiles(plain=(), traced=(), db_failover=()):
+    """Run chaos corpus seeds in their tier-1 configurations and return
+    ``{key: {"seed": ..., "profile": ...}}`` — the coverage floor a fuzz
+    corpus entry must escape to count as novel."""
+    from repro.failures.chaos import generate_schedule, run_schedule
+
+    baseline = {}
+
+    def record(seed, result):
+        profile = profile_from_chaos(result)
+        baseline[coverage_key(profile)] = {"seed": seed, "profile": profile}
+
+    for seed in plain:
+        record(seed, run_schedule(generate_schedule(seed)))
+    for seed in traced:
+        record(seed, run_schedule(generate_schedule(seed), tracing=True))
+    for seed in db_failover:
+        record(seed, run_schedule(generate_schedule(seed, db_failover=True)))
+    return baseline

@@ -1,0 +1,374 @@
+"""The coverage-guided loop, the two-budget shrinker, and corpus I/O.
+
+The loop is seed-deterministic end to end: iteration ``i`` either
+generates a fresh spec or mutates a corpus entry, with every choice
+drawn from one named stream of the loop seed.  Novel coverage keys
+(not in the chaos baseline, not seen this campaign) admit the spec to
+the corpus; violations are shrunk — schedule dimensions and
+config/topology dimensions on *separate* :class:`ShrinkBudget` pools —
+and written out as replayable ``fuzz_repro_<seed>.py`` scripts.
+"""
+
+import json
+
+from repro.failures.chaos import SETTLE_TAIL, ShrinkBudget
+from repro.fuzz.build import run_fuzz_spec
+from repro.fuzz.coverage import coverage_key, run_profile
+from repro.fuzz.spec import (
+    FuzzSpec,
+    SpecError,
+    generate_fuzz_spec,
+    mutate_fuzz_spec,
+    validate_fuzz_spec,
+)
+from repro.sim.rand import DeterministicRandom
+
+
+# ----------------------------------------------------------------------
+# shrinking across schedule AND config/topology dimensions
+# ----------------------------------------------------------------------
+
+def shrink_fuzz_spec(spec, hold_acks=True, expect_oracle=None,
+                     max_runs=40, budget=None):
+    """Minimize a violating spec; returns ``(shrunk, final_result,
+    runs_used)`` like :func:`chaos.shrink_schedule`.
+
+    Schedule passes (drop injections/bursts, halve counts, trim the
+    horizon) and config/topology passes (drop trailing neighbors, strip
+    policies, reset MRAI/BFD knobs, zero the preload) draw from separate
+    :class:`ShrinkBudget` pools, so neither dimension can starve the
+    other; inspect ``budget.exhausted()`` to see which pool ran dry.
+    """
+    if budget is None:
+        budget = ShrinkBudget.split(max_runs, config_share=0.4)
+
+    def still_fails(candidate, dimension):
+        if not budget.take(dimension):
+            return None
+        try:
+            validate_fuzz_spec(candidate)
+        except SpecError:
+            return False
+        result = run_fuzz_spec(candidate, hold_acks=hold_acks)
+        violation = result.first_violation
+        if violation is None:
+            return False
+        if expect_oracle is not None and violation.oracle != expect_oracle:
+            return False
+        return result
+
+    best = spec.copy()
+    result = still_fails(best, "schedule")
+    if not result:
+        return best, None, budget.total_used
+
+    def try_mutation(mutate, dimension):
+        nonlocal best, result
+        candidate = best.copy()
+        if mutate(candidate) is False:
+            return
+        outcome = still_fails(candidate, dimension)
+        if outcome:
+            best, result = candidate, outcome
+
+    # -- schedule dimensions ----------------------------------------------
+    changed = True
+    while changed and budget.remaining("schedule") > 0:
+        changed = False
+        for index in range(len(best.injections) - 1, -1, -1):
+            before = len(best.injections)
+
+            def drop(candidate, index=index):
+                del candidate.injections[index]
+
+            try_mutation(drop, "schedule")
+            if len(best.injections) != before:
+                changed = True
+    for index in range(len(best.workload) - 1, -1, -1):
+        def drop(candidate, index=index):
+            del candidate.workload[index]
+
+        try_mutation(drop, "schedule")
+    for index in range(len(best.workload)):
+        while (best.workload[index]["count"] > 25
+               and budget.remaining("schedule") > 0):
+            before = best.workload[index]["count"]
+
+            def halve(candidate, index=index):
+                candidate.workload[index]["count"] //= 2
+
+            try_mutation(halve, "schedule")
+            if best.workload[index]["count"] == before:
+                break
+
+    # -- config/topology dimensions ---------------------------------------
+    # drop trailing neighbors (with their bursts; injections retarget to
+    # pair 0 since the plan reshapes)
+    while len(best.neighbors) > 1 and budget.remaining("config") > 0:
+        before = len(best.neighbors)
+
+        def drop_neighbor(candidate):
+            index = len(candidate.neighbors) - 1
+            del candidate.neighbors[index]
+            candidate.workload = [
+                event for event in candidate.workload
+                if event["remote"] != index
+            ]
+            pairs = candidate.pair_count()
+            for event in candidate.injections:
+                if event.get("pair", 0) >= pairs:
+                    event["pair"] = 0
+            candidate.max_peers_per_container = max(
+                candidate.vrf_group_sizes(), default=1
+            )
+
+        try_mutation(drop_neighbor, "config")
+        if len(best.neighbors) == before:
+            break
+    for index in range(len(best.neighbors)):
+        def strip_policies(candidate, index=index):
+            neighbor = candidate.neighbors[index]
+            if not neighbor["import_policy"] and not neighbor["export_policy"]:
+                return False
+            neighbor["import_policy"] = None
+            neighbor["export_policy"] = None
+
+        try_mutation(strip_policies, "config")
+
+        def reset_timers(candidate, index=index):
+            neighbor = candidate.neighbors[index]
+            if (neighbor["mrai"] is None
+                    and neighbor["bfd_tx_interval"] is None):
+                return False
+            neighbor["mrai"] = None
+            neighbor["bfd_tx_interval"] = None
+            neighbor["bfd_detect_mult"] = None
+
+        try_mutation(reset_timers, "config")
+    if best.mrai_mode != "per_speaker" or best.mrai is not None:
+        def reset_mrai(candidate):
+            candidate.mrai_mode = "per_speaker"
+            candidate.mrai = None
+
+        try_mutation(reset_mrai, "config")
+    if best.initial_routes:
+        def zero(candidate):
+            candidate.initial_routes = 0
+
+        try_mutation(zero, "config")
+
+    # -- horizon ----------------------------------------------------------
+    trimmed = round(max(5.0, result.first_violation.time - 5.0), 3)
+    if trimmed < best.duration:
+        def trim(candidate):
+            candidate.duration = trimmed
+
+        try_mutation(trim, "schedule")
+    return best, result, budget.total_used
+
+
+# ----------------------------------------------------------------------
+# repro scripts
+# ----------------------------------------------------------------------
+
+FUZZ_REPRO_TEMPLATE = '''#!/usr/bin/env python3
+"""Auto-generated fuzz repro — seed {seed}, oracle {oracle}.
+
+Shrunk spec: {neighbors} neighbor(s), {pairs} pair(s),
+{injections} injection(s), {bursts} burst(s).
+Replay (from the repository root):
+
+    PYTHONPATH=src python {filename}
+
+Exits 0 when the violation reproduces at the same oracle.
+"""
+import json
+import sys
+
+SEED = {seed}
+HOLD_ACKS = {hold_acks}
+EXPECT_ORACLE = {oracle!r}
+SPEC = json.loads(r\'\'\'
+{spec_json}
+\'\'\')
+
+
+def main():
+    from repro.fuzz import FuzzSpec, run_fuzz_spec
+
+    result = run_fuzz_spec(FuzzSpec.from_dict(SPEC), hold_acks=HOLD_ACKS)
+    violation = result.first_violation
+    if violation is None:
+        print("did NOT reproduce: all oracles passed")
+        return 2
+    print(
+        "reproduced: %s @%.3f -- %s"
+        % (violation.oracle, violation.time, violation.detail)
+    )
+    return 0 if violation.oracle == EXPECT_ORACLE else 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def write_fuzz_repro(spec, violation, hold_acks, path):
+    """Emit a self-contained replay script for a shrunk spec."""
+    filename = path.split("/")[-1]
+    script = FUZZ_REPRO_TEMPLATE.format(
+        seed=spec.seed,
+        oracle=violation.oracle,
+        neighbors=len(spec.neighbors),
+        pairs=spec.pair_count(),
+        injections=len(spec.injections),
+        bursts=len(spec.workload),
+        filename=filename,
+        hold_acks=hold_acks,
+        spec_json=json.dumps(spec.to_dict(), indent=2, sort_keys=True),
+    )
+    with open(path, "w") as handle:
+        handle.write(script)
+    return path
+
+
+# ----------------------------------------------------------------------
+# the campaign loop
+# ----------------------------------------------------------------------
+
+class FuzzReport:
+    """Outcome of one campaign: corpus entries, violations, stats."""
+
+    def __init__(self, seed):
+        self.seed = seed
+        self.corpus = []        # {"spec", "profile", "key", "novel"}
+        self.violations = []    # {"spec", "oracle", "repro"}
+        self.runs = 0
+        self.partial = 0
+
+    def novel_keys(self, baseline_keys):
+        return sorted(
+            entry["key"] for entry in self.corpus
+            if entry["key"] not in baseline_keys
+        )
+
+
+def fuzz_loop(seed=0, iterations=10, baseline_keys=(), hold_acks=True,
+              tracing=True, out_dir=".", max_duration=None, log=print):
+    """Run one coverage-guided campaign; pure function of its arguments.
+
+    ``baseline_keys``: coverage keys the fixed chaos corpus produces —
+    only keys outside it count as *novel* in the report.  ``tracing``
+    defaults on so the phase-shape axis contributes to coverage.
+    ``max_duration`` caps each spec's virtual horizon (smoke mode).
+    """
+    r = DeterministicRandom(seed).stream("fuzz-loop")
+    baseline_keys = set(baseline_keys)
+    seen = set(baseline_keys)
+    report = FuzzReport(seed)
+    for iteration in range(iterations):
+        spec_seed = seed * 100003 + iteration + 1
+        if report.corpus and r.random() < 0.5:
+            parent = report.corpus[r.randrange(len(report.corpus))]["spec"]
+            spec = mutate_fuzz_spec(parent, spec_seed)
+            origin = f"mutate({parent.seed})"
+        else:
+            spec = generate_fuzz_spec(spec_seed)
+            origin = "generate"
+        if max_duration is not None and spec.duration > max_duration:
+            spec = spec.copy()
+            spec.duration = max_duration
+            spec.injections = [e for e in spec.injections
+                               if e["at"] < max_duration - SETTLE_TAIL / 3]
+            spec.workload = [e for e in spec.workload
+                             if e["at"] < max_duration - SETTLE_TAIL / 3]
+            if not spec.injections:
+                spec = generate_fuzz_spec(spec_seed)
+
+        result = run_fuzz_spec(spec, hold_acks=hold_acks, tracing=tracing)
+        report.runs += 1
+        if result.partial:
+            report.partial += 1
+        violation = result.first_violation
+        if violation is not None:
+            budget = ShrinkBudget.split(40, config_share=0.4)
+            shrunk, _final, runs = shrink_fuzz_spec(
+                spec, hold_acks=hold_acks,
+                expect_oracle=violation.oracle, budget=budget,
+            )
+            path = f"{out_dir}/fuzz_repro_{spec.seed}.py"
+            write_fuzz_repro(shrunk, violation, hold_acks, path)
+            report.violations.append({
+                "spec": shrunk, "oracle": violation.oracle, "repro": path,
+            })
+            log(
+                f"[{iteration}] seed {spec.seed}: VIOLATION"
+                f" {violation.oracle} @{violation.time:.3f};"
+                f" shrunk in {runs} rerun(s) [{budget.describe()}];"
+                f" repro: {path}"
+            )
+            continue
+        profile = run_profile(result)
+        key = coverage_key(profile)
+        novel = key not in seen
+        if novel:
+            seen.add(key)
+            report.corpus.append({
+                "spec": spec, "profile": profile, "key": key,
+                "novel": key not in baseline_keys,
+            })
+            log(
+                f"[{iteration}] seed {spec.seed} ({origin}): NEW coverage"
+                f" {key} — pairs={spec.pair_count()}"
+                f" mode={spec.mrai_mode} layout={spec.vrf_layout}"
+            )
+        else:
+            log(f"[{iteration}] seed {spec.seed} ({origin}): known"
+                f" coverage {key}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# manifest I/O (tests/fuzz_corpus/manifest.json)
+# ----------------------------------------------------------------------
+
+def save_manifest(path, report, baseline):
+    """Persist a campaign as the checked-in regression corpus.
+
+    ``baseline``: {key: {"seed", "profile"}} from
+    :func:`~repro.fuzz.coverage.chaos_baseline_profiles`.
+    """
+    manifest = {
+        "loop_seed": report.seed,
+        "baseline": {
+            key: {"seed": entry["seed"], "profile": entry["profile"]}
+            for key, entry in sorted(baseline.items())
+        },
+        "entries": [
+            {
+                "spec": entry["spec"].to_dict(),
+                "profile": entry["profile"],
+                "coverage_key": entry["key"],
+                "novel": entry["key"] not in baseline,
+            }
+            for entry in report.corpus
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def load_manifest(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def manifest_entries(manifest):
+    """[(FuzzSpec, expected_key, expected_profile)] from a manifest."""
+    return [
+        (FuzzSpec.from_dict(entry["spec"]), entry["coverage_key"],
+         entry["profile"])
+        for entry in manifest["entries"]
+    ]

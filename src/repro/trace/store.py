@@ -113,6 +113,26 @@ class TraceStore:
                 out[name] = summarize(values)
         return out
 
+    def phase_shape(self, names=PHASES):
+        """The *shape* of a run's phase activity, for coverage keys
+        (DESIGN.md §13): ``(phase, log2-bucketed span count)`` pairs over
+        phases that recorded at least one ended span.
+
+        Bucketing by ``count.bit_length()`` (1, 2-3, 4-7, ... spans)
+        makes the shape insensitive to small count jitter while still
+        separating "a couple of replications" from "hundreds" — exactly
+        the granularity novelty search wants.  Durations are deliberately
+        excluded: they are bit-identical per seed but any change to the
+        shape of the schedule perturbs them, which would make *every*
+        mutant look novel.
+        """
+        shape = []
+        for name in names:
+            count = len(self.spans(name, ended=True))
+            if count:
+                shape.append((name, count.bit_length()))
+        return tuple(shape)
+
     def histogram(self, name, buckets=DEFAULT_BUCKETS):
         """[(upper_bound_or_inf, count)] over ended-span durations."""
         counts = [0] * (len(buckets) + 1)

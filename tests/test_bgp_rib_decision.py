@@ -90,6 +90,47 @@ def test_med_ignored_across_different_as():
     assert best_path([a, b]) is a
 
 
+def test_med_cycle_is_order_independent():
+    """Regression: pairwise preference cycles once MED is in play.
+
+    a beats b (eBGP over iBGP), b beats c (peer tie-break), c beats a
+    (same-AS MED) — a bare linear scan picked a different winner per
+    candidate order.  Deterministic-MED selection first settles each
+    neighboring-AS group (c evicts a on MED), then compares group
+    winners MED-blind: b wins, whatever the order.
+    """
+    import itertools
+
+    a = _route("a", path=(65001,), med=10, source_kind="ebgp")
+    b = _route("b", path=(65002,), med=99, source_kind="ibgp")
+    c = _route("c", path=(65001,), med=5, source_kind="ibgp")
+    for order in itertools.permutations([a, b, c]):
+        assert best_path(list(order)) is b, [r.peer_id for r in order]
+
+
+def test_loc_rib_incremental_matches_med_semantics():
+    """The Loc-RIB's incremental offer/retract paths agree with
+    deterministic-MED best_path even when a challenger or a retracted
+    route shares a MED group with other candidates."""
+    import itertools
+
+    routes = {
+        "a": _route("a", path=(65001,), med=10, source_kind="ebgp"),
+        "b": _route("b", path=(65002,), med=99, source_kind="ibgp"),
+        "c": _route("c", path=(65001,), med=5, source_kind="ibgp"),
+    }
+    for order in itertools.permutations(routes):
+        rib = LocRib()
+        for peer in order:
+            rib.offer(routes[peer])
+        assert rib.best(P1).peer_id == "b", order
+        # evicting the MED-group winner restores the eBGP route as a
+        # finalist, which then beats b — a non-best retract that must
+        # still re-run selection
+        rib.retract(P1, "c")
+        assert rib.best(P1).peer_id == "a", order
+
+
 def test_ebgp_beats_ibgp():
     ebgp = _route("z-ebgp", source_kind="ebgp")
     ibgp = _route("a-ibgp", source_kind="ibgp")

@@ -20,6 +20,8 @@ from repro.failures.chaos import (
     DB_FAILOVER_CORPUS_SEEDS,
     TRACED_CORPUS_SEEDS,
     ChaosSchedule,
+    ShrinkBudget,
+    _PreparedRun,
     generate_schedule,
     run_schedule,
     shrink_schedule,
@@ -235,3 +237,98 @@ def test_ablation_trips_shrinks_and_replays(tmp_path):
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "reproduced: ack_durability" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# shrink budgets and partial-run detection
+# ----------------------------------------------------------------------
+
+
+def test_shrink_budget_splits_and_reports_exhaustion():
+    budget = ShrinkBudget.split(40)
+    assert budget.limits["schedule"] + budget.limits["config"] == 40
+    assert budget.limits["config"] >= 2  # config pool can never be starved
+    assert budget.exhausted() == ()
+    while budget.take("config"):
+        pass
+    assert budget.exhausted() == ("config",)
+    assert "exhausted: config" in budget.describe()
+    # the schedule pool is untouched by draining config
+    assert budget.remaining("schedule") == budget.limits["schedule"]
+    assert budget.total_used == budget.limits["config"]
+
+
+def test_shrink_respects_per_dimension_budget():
+    """A starved schedule pool must not consume the config pool: the
+    config dimension (dropping the preloaded table) still gets its
+    reserved reruns even when schedule shrinking exhausts its own."""
+    schedule = generate_schedule(0)
+    assert schedule.initial_routes  # seed 0 preloads a table
+    budget = ShrinkBudget({"schedule": 3, "config": 2})
+    shrunk, final, runs = shrink_schedule(
+        schedule, hold_acks=False, expect_oracle="ack_durability",
+        budget=budget,
+    )
+    assert final is not None
+    assert runs == budget.total_used
+    assert "schedule" in budget.exhausted()
+    # the config pool was charged independently of the schedule pool
+    assert budget.used["config"] >= 1
+    assert budget.used["schedule"] <= 3
+
+
+def test_prepared_run_reports_partial_when_stopped_early():
+    """A run whose engine never reaches the deadline has no oracle
+    verdict for the tail: finish() must mark it partial, and the shard
+    results must carry the flag."""
+    schedule = generate_schedule(0)
+    prepared = _PreparedRun(schedule, stop_on_violation=False)
+    prepared.step_to(prepared.engine.now + 1.0)  # far short of the deadline
+    result = prepared.finish()
+    assert result.partial
+    assert not result.completed
+    assert result.first_violation is None  # "no violations" yet not a pass
+
+
+def test_full_run_and_violation_halt_both_count_as_completed():
+    schedule = generate_schedule(0)
+    full = run_schedule(schedule)
+    assert full.completed and not full.partial
+    # a violation halt did what it set out to do: also completed
+    tripped = run_schedule(schedule, hold_acks=False)
+    assert tripped.first_violation is not None
+    assert tripped.completed
+
+
+def test_cli_exit_codes_distinguish_partial_runs(monkeypatch, capsys):
+    """`--corpus` historically exited 0 whenever no violation was seen,
+    even if a run silently stalled mid-schedule under
+    stop_on_violation=False.  Partial runs now exit 2."""
+    from repro.failures import chaos
+
+    class _FakeSuite:
+        violations = ()
+        first_violation = None
+
+        def summary(self):
+            return "ok"
+
+    class _FakeEngine:
+        now = 12.0
+
+    class _FakeSystem:
+        engine = _FakeEngine()
+
+    def fake_run(schedule, hold_acks=True, stop_on_violation=True,
+                 tracing=False):
+        return chaos.ChaosResult(
+            schedule, _FakeSuite(), _FakeSystem(), 100,
+            completed=stop_on_violation,  # partial only when kept going
+        )
+
+    monkeypatch.setattr(chaos, "run_schedule", fake_run)
+    assert chaos.main(["--seed", "0"]) == 0
+    assert chaos.main(["--seed", "0", "--keep-going"]) == 2
+    assert chaos.main(["--corpus", "--keep-going"]) == 2
+    out = capsys.readouterr().out
+    assert "PARTIAL" in out

@@ -230,6 +230,59 @@ def test_burst_scenario_windows_collapse_in_quiet_gaps():
     )
 
 
+# ----------------------------------------------------------------------
+# fuzz specs as closed shards: coverage keys are worker-count stable
+# ----------------------------------------------------------------------
+
+FUZZ_SEEDS = (1, 4)
+
+
+@functools.lru_cache(maxsize=None)
+def fuzz_run(workers):
+    from repro.fuzz import fuzz_corpus_specs, generate_fuzz_spec
+
+    specs = [generate_fuzz_spec(seed) for seed in FUZZ_SEEDS]
+    horizon = max(spec.duration for spec in specs) + 20.0
+    return ParallelRunner(
+        fuzz_corpus_specs(specs, tracing=True), workers=workers
+    ).run(horizon)
+
+
+def test_fuzz_coverage_keys_identical_across_worker_counts():
+    """DESIGN.md §13 (S4): the coverage signal is a pure function of
+    deterministic run state, so the same spec + seed yields the same
+    profile and coverage key under workers=1 and workers=4 — full shard
+    results (RIBs, verdicts, phase shapes) included."""
+    sequential, sharded = fuzz_run(1), fuzz_run(4)
+    assert sequential.shard_results == sharded.shard_results
+    for seed in FUZZ_SEEDS:
+        shard = sequential.shard_results[f"fuzz{seed}"]
+        assert shard["verdict"] == "all oracles passed"
+        assert shard["completed"] is True
+        assert shard["coverage_key"] == (
+            sharded.shard_results[f"fuzz{seed}"]["coverage_key"]
+        )
+
+
+def test_fuzz_shard_matches_plain_run_fuzz_spec():
+    from repro.fuzz import (
+        coverage_key,
+        generate_fuzz_spec,
+        run_fuzz_spec,
+        run_profile,
+    )
+
+    sharded = fuzz_run(1)
+    for seed in FUZZ_SEEDS:
+        plain = run_fuzz_spec(generate_fuzz_spec(seed), tracing=True)
+        shard = sharded.shard_results[f"fuzz{seed}"]
+        assert shard["verdict"] == plain.summary()
+        assert shard["executed"] == plain.events_executed
+        assert shard["rib"] == plain.system.rib_digest()
+        assert shard["profile"] == run_profile(plain)
+        assert shard["coverage_key"] == coverage_key(run_profile(plain))
+
+
 def test_chaos_shard_matches_plain_run_schedule():
     # a closed shard under the windowed runner is literally run_schedule:
     # same verdict, same violation list, same event count, same RIBs
