@@ -8,7 +8,7 @@ SEEDS ?= 25
 FUZZ_SEED ?= 0
 FUZZ_ITERATIONS ?= 10
 
-.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-gate profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation fuzz fuzz-corpus fuzz-smoke trace-demo verify
+.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-fulltable bench-gate fulltable-smoke profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation fuzz fuzz-corpus fuzz-smoke trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -28,6 +28,17 @@ bench-parallel:
 # promotion and kill->last-held-ACK drain, writes BENCH_failover.json.
 bench-failover:
 	$(PYTHON) benchmarks/bench_failover.py
+
+# Internet-scale table (DESIGN.md §14): 100k vs 1M prefixes through the
+# radix-trie Loc-RIB, churn reselect, aggregated snapshot compaction,
+# and a slice through a real NSR pair; writes BENCH_fulltable.json.
+bench-fulltable:
+	$(PYTHON) benchmarks/bench_fulltable.py
+
+# Reduced sizes, invariants only (sub-linear reselect, >=20% snapshot
+# aggregation, bounded incremental compaction), for `make verify`.
+fulltable-smoke:
+	$(PYTHON) benchmarks/bench_fulltable.py --smoke
 
 # One reduced automatic-failover scenario, asserts only: the monitor
 # must promote on its own and every held ACK must drain in budget.
@@ -94,5 +105,6 @@ trace-demo:
 
 # The full gate: tier-1 tests, perf regression (hot path, parallel,
 # failover drain), chaos corpus, the parallel determinism smoke, the
-# database failover smoke, and the bounded fuzz smoke.
-verify: test bench-gate chaos-corpus parallel-smoke kv-failover fuzz-smoke
+# database failover smoke, the bounded fuzz smoke, and the full-table
+# scaling smoke.
+verify: test bench-gate chaos-corpus parallel-smoke kv-failover fuzz-smoke fulltable-smoke

@@ -117,6 +117,48 @@ def _validate_failover(fresh, baseline):
     return failures
 
 
+def _validate_fulltable(fresh, baseline):
+    """Full-table invariants beyond the throughput ratchet (§14).
+
+    Absolute floors, independent of the baseline: incremental reselect
+    must stay sub-linear in table size, snapshot aggregation must keep
+    earning its >= 20% reduction on the aggregatable workload, and an
+    incremental compaction may only rewrite chunks proportional to the
+    touched working set.
+    """
+    failures = []
+    ratio = fresh.get("reselect_ratio")
+    if ratio is None:
+        failures.append("reselect_ratio missing from BENCH_fulltable.json")
+    elif ratio < 0.4:
+        failures.append(
+            f"sub-linear reselect floor: {ratio:.2f}x throughput at 10x "
+            f"table size < 0.4x")
+    else:
+        print(f"  sub-linear reselect: {ratio:.2f}x at 10x size  ok")
+    reduction = fresh.get("aggregation_reduction", 0.0)
+    if reduction < 0.20:
+        failures.append(
+            f"snapshot aggregation reduced entries by only "
+            f"{reduction:.0%} (< 20% floor)")
+    else:
+        print(f"  snapshot aggregation: -{reduction:.0%} entries  ok")
+    large = fresh.get("large", {})
+    full_chunks = large.get("full_chunks", 0)
+    incr_chunks = large.get("incremental_chunks", 0)
+    if not full_chunks:
+        failures.append("large.full_chunks missing from "
+                        "BENCH_fulltable.json")
+    elif incr_chunks > full_chunks * 0.25:
+        failures.append(
+            f"incremental compaction rewrote {incr_chunks}/{full_chunks} "
+            f"chunks (> 25%): not proportional to the working set")
+    else:
+        print(f"  incremental compaction: {incr_chunks}/{full_chunks} "
+              f"chunks  ok")
+    return failures
+
+
 SUITES = {
     "failover": {
         "json": "BENCH_failover.json",
@@ -142,6 +184,15 @@ SUITES = {
                 str(REPO_ROOT / "benchmarks" / "bench_parallel_fleet.py")],
         "threshold": 0.30,  # wall-clock of a 13s run is noisier than µ-benches
         "validate": _validate_parallel,
+    },
+    "fulltable": {
+        "json": "BENCH_fulltable.json",
+        "run": [sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_fulltable.py")],
+        # multi-second wall-clock stages; host noise dominates more than
+        # in the µ-benches
+        "threshold": 0.30,
+        "validate": _validate_fulltable,
     },
 }
 

@@ -10,6 +10,8 @@ are genuine.
 """
 
 from repro.bgp.prefixes import Prefix, PrefixTrie
+from repro.bgp.radix import DictPrefixStore, RadixTrie
+from repro.bgp.aggregation import ExportAggregator
 from repro.bgp.attributes import (
     AsPath,
     Origin,
@@ -36,6 +38,9 @@ from repro.bgp.speaker import BgpSpeaker, SpeakerConfig
 __all__ = [
     "Prefix",
     "PrefixTrie",
+    "RadixTrie",
+    "DictPrefixStore",
+    "ExportAggregator",
     "AsPath",
     "Origin",
     "PathAttributes",

@@ -8,17 +8,22 @@ export (Adj-RIB-Out) time, as the centralized controller would push them
 to the gateway's BGP containers.
 """
 
-from repro.bgp.prefixes import PrefixTrie
+from repro.bgp.radix import RadixTrie
 
 
 class PrefixList:
-    """Named list of prefixes; matches exact or covering prefixes."""
+    """Named list of prefixes; matches exact or covering prefixes.
+
+    Backed by the path-compressed radix trie (DESIGN.md §14), so match
+    cost is bounded by the queried prefix's length regardless of list
+    size — full-table export policies stay O(32) per route.
+    """
 
     def __init__(self, name, entries=(), match_longer=True):
         self.name = name
         self.match_longer = match_longer
         self.entries = []
-        self._trie = PrefixTrie()
+        self._trie = RadixTrie()
         for prefix in entries:
             self.add(prefix)
 
@@ -29,7 +34,7 @@ class PrefixList:
     def matches(self, prefix):
         if self.match_longer:
             return self._trie.longest_match(prefix) is not None
-        return self._trie.exact(prefix) is not None
+        return self._trie.get(prefix) is not None
 
 
 class PolicyAction:

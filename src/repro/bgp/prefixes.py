@@ -74,14 +74,43 @@ class Prefix:
         """True when ``other`` (Prefix of same AFI) is within this prefix."""
         if self.afi != other.afi or other.length < self.length:
             return False
+        if self.length == 0:
+            # The default route covers every same-AFI prefix; the shift
+            # compare below would shift by the full width, which is legal
+            # but pointless (both sides collapse to 0 anyway).
+            return True
         shift = self.bits - self.length
-        return (self.value >> shift) == (other.value >> shift) if shift else (
-            self.value == other.value
-        )
+        return (self.value >> shift) == (other.value >> shift)
 
     def bit_at(self, index):
-        """The prefix bit at position ``index`` (0 = most significant)."""
+        """The prefix bit at position ``index`` (0 = most significant).
+
+        ``index`` must be in ``[0, bits)``.  Out-of-range indices raise
+        IndexError — a negative index would silently read the wrong bit
+        and an index past the AFI width used to surface as a cryptic
+        negative-shift ValueError deep inside trie descent.
+        """
+        if not 0 <= index < self.bits:
+            raise IndexError(
+                f"bit index {index} out of range for {self.bits}-bit prefix"
+            )
         return (self.value >> (self.bits - 1 - index)) & 1
+
+    def common_prefix_len(self, other, limit=None):
+        """Length of the longest common leading bit-run with ``other``.
+
+        Capped at both prefix lengths (mask bits beyond a prefix's
+        length are not part of its identity) and optionally ``limit``.
+        Both prefixes must share an AFI.
+        """
+        cap = self.length if self.length < other.length else other.length
+        if limit is not None and limit < cap:
+            cap = limit
+        diff = self.value ^ other.value
+        if not diff:
+            return cap
+        shared = self.bits - diff.bit_length()
+        return shared if shared < cap else cap
 
     # -- dunder --------------------------------------------------------------
 

@@ -1,0 +1,306 @@
+"""Path-compressed binary radix (Patricia) trie keyed by :class:`Prefix`.
+
+The Loc-RIB's prefix store.  A flat dict answers exact-match queries but
+nothing else; real tables need the order-dependent queries too:
+longest-prefix match (which candidate covers a destination), covered
+walks (every more-specific under an aggregate — the DRAGON aggregation
+engine lives on this), covering chains (every less-specific over a
+route), and deterministic sorted iteration for snapshot export.
+
+Structure
+---------
+One root per AFI at position ``(value=0, length=0)``.  Every node sits
+at a bit position — a (masked value, length) pair — and its two children
+extend that position by at least one bit, branching on the first bit
+past the parent's length.  Path compression: chain nodes with a single
+child and no entry are never materialized, so the trie holds at most
+``2n - 1`` nodes for ``n`` entries and descent is bounded by the AFI
+width, not the entry count.
+
+The hot exact-match path (offer/retract runs once per BGP update) never
+walks the tree: an intrusive ``prefix -> node`` index dict gives O(1)
+lookup, and nodes carry parent pointers so removal prunes locally.
+
+Iteration order is pre-order (node, 0-child, 1-child), which for this
+bit layout is exactly ascending ``(value, length)`` — a parent's value
+is its child's value with trailing bits cleared, so the parent sorts
+first, and the 0-subtree's values all precede the 1-subtree's.  Walking
+AFIs in ascending order makes the full walk equal ``sorted(prefixes)``
+under :meth:`Prefix.__lt__`; the Loc-RIB's snapshot determinism rides
+on this (property-tested against sorted() in test_radix_properties.py).
+
+:class:`DictPrefixStore` is the seed-equivalent flat-dict backend with
+the same interface (linear scans for the tree queries); differential
+tests run both in lockstep to pin behavior.
+"""
+
+from repro.bgp.prefixes import Prefix
+
+
+class RadixNode:
+    """One trie position; carries an entry only when ``has_entry``."""
+
+    __slots__ = ("prefix", "parent", "children", "entry", "has_entry")
+
+    def __init__(self, prefix, parent=None):
+        self.prefix = prefix
+        self.parent = parent
+        self.children = [None, None]
+        self.entry = None
+        self.has_entry = False
+
+    def __repr__(self):
+        mark = "*" if self.has_entry else ""
+        return f"<RadixNode {self.prefix}{mark}>"
+
+
+class RadixTrie:
+    """Prefix -> value map with LPM, covered/covering walks, sorted order."""
+
+    def __init__(self):
+        self._roots = {
+            Prefix.AFI_IPV4: RadixNode(Prefix(0, 0, Prefix.AFI_IPV4)),
+            Prefix.AFI_IPV6: RadixNode(Prefix(0, 0, Prefix.AFI_IPV6)),
+        }
+        self._index = {}  # prefix -> RadixNode (entry-bearing nodes only)
+
+    # -- exact-match surface (the hot path; all O(1) via the index) ---------
+
+    def __len__(self):
+        return len(self._index)
+
+    def __contains__(self, prefix):
+        return prefix in self._index
+
+    def __iter__(self):
+        return (prefix for prefix, _value in self.walk())
+
+    def get(self, prefix, default=None):
+        node = self._index.get(prefix)
+        return node.entry if node is not None else default
+
+    def insert(self, prefix, value):
+        """Insert or replace; returns the node holding the entry."""
+        node = self._index.get(prefix)
+        if node is None:
+            node = self._attach(prefix)
+            node.has_entry = True
+            self._index[prefix] = node
+        node.entry = value
+        return node
+
+    def remove(self, prefix):
+        """Remove an exact entry; returns True if it existed."""
+        node = self._index.pop(prefix, None)
+        if node is None:
+            return False
+        node.entry = None
+        node.has_entry = False
+        self._prune(node)
+        return True
+
+    # -- structural insert/remove ------------------------------------------
+
+    def _attach(self, prefix):
+        """Find or create the node at ``prefix``'s position."""
+        node = self._roots[prefix.afi]
+        while True:
+            # Invariant: node's position covers prefix.
+            if node.prefix.length == prefix.length:
+                return node
+            bit = prefix.bit_at(node.prefix.length)
+            child = node.children[bit]
+            if child is None:
+                leaf = RadixNode(prefix, node)
+                node.children[bit] = leaf
+                return leaf
+            common = child.prefix.common_prefix_len(prefix)
+            if common == child.prefix.length:
+                # child still covers prefix: keep descending.
+                node = child
+                continue
+            # Diverged inside the compressed edge: split at the fork.
+            mid = RadixNode(Prefix(prefix.value, common, prefix.afi), node)
+            node.children[bit] = mid
+            mid.children[child.prefix.bit_at(common)] = child
+            child.parent = mid
+            if common == prefix.length:
+                # prefix *is* the fork position (it covers child).
+                return mid
+            leaf = RadixNode(prefix, mid)
+            mid.children[prefix.bit_at(common)] = leaf
+            return leaf
+
+    def _prune(self, node):
+        """Splice out now-useless chain nodes after an entry removal."""
+        while node.parent is not None and not node.has_entry:
+            kids = [child for child in node.children if child is not None]
+            if len(kids) == 2:
+                return  # still a fork point
+            parent = node.parent
+            slot = 0 if parent.children[0] is node else 1
+            if kids:
+                kids[0].parent = parent
+                parent.children[slot] = kids[0]
+            else:
+                parent.children[slot] = None
+            node.parent = None
+            node = parent
+
+    # -- tree queries -------------------------------------------------------
+
+    def longest_match(self, prefix):
+        """Most specific entry covering ``prefix`` (itself included).
+
+        Returns ``(stored_prefix, value)`` or None.
+        """
+        node = self._roots[prefix.afi]
+        best = None
+        while True:
+            if node.has_entry:
+                best = node
+            if node.prefix.length >= prefix.length:
+                break
+            child = node.children[prefix.bit_at(node.prefix.length)]
+            if child is None or not child.prefix.contains(prefix):
+                break
+            node = child
+        if best is None:
+            return None
+        return best.prefix, best.entry
+
+    def covering(self, prefix):
+        """Entries covering ``prefix`` (itself included), shortest first."""
+        node = self._roots[prefix.afi]
+        while True:
+            if node.has_entry:
+                yield node.prefix, node.entry
+            if node.prefix.length >= prefix.length:
+                return
+            child = node.children[prefix.bit_at(node.prefix.length)]
+            if child is None or not child.prefix.contains(prefix):
+                return
+            node = child
+
+    def covered(self, prefix):
+        """Entries within ``prefix`` (itself included), in sorted order."""
+        top = self._subtree_top(prefix)
+        if top is not None:
+            yield from self._walk_from(top)
+
+    def covered_nodes(self, prefix):
+        """Entry-bearing nodes within ``prefix`` (aggregation engine)."""
+        top = self._subtree_top(prefix)
+        if top is None:
+            return
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            if node.has_entry:
+                yield node
+            if node.children[1] is not None:
+                stack.append(node.children[1])
+            if node.children[0] is not None:
+                stack.append(node.children[0])
+
+    def _subtree_top(self, prefix):
+        """The shallowest node whose subtree holds exactly the entries
+        covered by ``prefix`` — or None when no entry is covered."""
+        node = self._roots[prefix.afi]
+        while node.prefix.length < prefix.length:
+            child = node.children[prefix.bit_at(node.prefix.length)]
+            if child is None:
+                return None
+            if child.prefix.length >= prefix.length:
+                # Jumped past prefix's position along a compressed edge:
+                # the whole child subtree is covered iff the edge stayed
+                # inside prefix.
+                return child if prefix.contains(child.prefix) else None
+            if not child.prefix.contains(prefix):
+                return None
+            node = child
+        return node
+
+    # -- iteration ----------------------------------------------------------
+
+    def walk(self):
+        """All ``(prefix, value)`` entries in ascending Prefix order."""
+        for afi in sorted(self._roots):
+            yield from self._walk_from(self._roots[afi])
+
+    @staticmethod
+    def _walk_from(top):
+        # Iterative pre-order: entry before children, 0-subtree before
+        # 1-subtree.  Recursion would be fine for IPv4 depth but an
+        # explicit stack keeps IPv6 worst cases off the interpreter
+        # stack and is faster in CPython anyway.
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            if node.has_entry:
+                yield node.prefix, node.entry
+            if node.children[1] is not None:
+                stack.append(node.children[1])
+            if node.children[0] is not None:
+                stack.append(node.children[0])
+
+
+class DictPrefixStore:
+    """Flat-dict prefix store: the seed Loc-RIB's data layout.
+
+    Same interface as :class:`RadixTrie`; the tree queries fall back to
+    linear scans (and :meth:`walk` to a sort), so it is only suitable
+    for small tables — chaos/fuzz scenarios and differential tests that
+    pin the trie against the original dict semantics.
+    """
+
+    def __init__(self):
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, prefix):
+        return prefix in self._entries
+
+    def __iter__(self):
+        return iter(sorted(self._entries))
+
+    def get(self, prefix, default=None):
+        return self._entries.get(prefix, default)
+
+    def insert(self, prefix, value):
+        self._entries[prefix] = value
+
+    def remove(self, prefix):
+        return self._entries.pop(prefix, None) is not None
+
+    def longest_match(self, prefix):
+        best = None
+        for stored, value in self._entries.items():
+            if stored.contains(prefix):
+                if best is None or stored.length > best[0].length:
+                    best = (stored, value)
+        return best
+
+    def covering(self, prefix):
+        found = [
+            (stored, value)
+            for stored, value in self._entries.items()
+            if stored.contains(prefix)
+        ]
+        found.sort(key=lambda kv: kv[0].length)
+        yield from found
+
+    def covered(self, prefix):
+        found = [
+            (stored, value)
+            for stored, value in self._entries.items()
+            if prefix.contains(stored)
+        ]
+        found.sort(key=lambda kv: kv[0])
+        yield from found
+
+    def walk(self):
+        for prefix in sorted(self._entries):
+            yield prefix, self._entries[prefix]

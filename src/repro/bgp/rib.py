@@ -3,9 +3,66 @@
 Per RFC 4271 §3.2: routes learned from each peer land in that peer's
 Adj-RIB-In; the decision process selects one best route per prefix into
 the Loc-RIB; per-peer Adj-RIB-Out holds what has been advertised.
+
+The Loc-RIB keys its per-prefix state (candidates, MED-group counts)
+by a pluggable prefix store — a path-compressed radix trie by default
+(:class:`repro.bgp.radix.RadixTrie`), which adds longest-prefix match,
+covered-subtree walks and sorted iteration on top of the original
+exact-match surface.  ``use_prefix_store`` swaps the backend (e.g. the
+seed-equivalent flat dict) for differential testing.
 """
 
+import contextlib
+
 from repro.bgp.decision import best_path, med_group, prefer
+from repro.bgp.prefixes import Prefix
+from repro.bgp.radix import DictPrefixStore, RadixTrie
+
+__all__ = [
+    "Route", "AdjRibIn", "LocRib", "AdjRibOut",
+    "use_prefix_store", "default_prefix_store",
+    "RadixTrie", "DictPrefixStore",
+]
+
+_store_factory = RadixTrie
+
+
+def default_prefix_store():
+    """Construct a prefix store with the currently-selected backend."""
+    return _store_factory()
+
+
+@contextlib.contextmanager
+def use_prefix_store(factory):
+    """Temporarily back new Loc-RIBs with ``factory`` (e.g.
+    :class:`repro.bgp.radix.DictPrefixStore` for differential runs
+    against the seed dict semantics)."""
+    global _store_factory
+    previous = _store_factory
+    _store_factory = factory
+    try:
+        yield
+    finally:
+        _store_factory = previous
+
+
+class _PrefixSlot:
+    """Per-prefix Loc-RIB state, stored as the prefix store's value.
+
+    ``best`` mirrors the LocRib-level ``_best`` dict so trie queries
+    (LPM, covered walks) can answer with the selected route without a
+    second lookup; the dict stays authoritative for iteration order.
+    """
+
+    __slots__ = ("candidates", "best", "med_counts")
+
+    def __init__(self):
+        self.candidates = {}  # peer_id -> Route
+        self.best = None
+        # first_as -> member count; lets offer/retract decide in O(1)
+        # whether MED is in play for a candidate (None groups — no AS
+        # path — never compare MED and are not counted).
+        self.med_counts = {}
 
 
 class Route:
@@ -75,15 +132,22 @@ class AdjRibIn:
 class LocRib:
     """The selected best route per prefix, plus all candidate paths."""
 
-    def __init__(self, local_as=0, router_id=0):
+    def __init__(self, local_as=0, router_id=0, store=None):
         self.local_as = local_as
         self.router_id = router_id
+        # Insertion-ordered best map.  Advertisement batching iterates
+        # it, so its mutation pattern is part of the simulation's
+        # deterministic trajectory — it stays a plain dict regardless
+        # of the store backend.
         self._best = {}  # prefix -> Route
-        self._candidates = {}  # prefix -> {peer_id: Route}
-        # prefix -> {first_as: member count}; lets offer/retract decide
-        # in O(1) whether MED is in play for a candidate (None groups —
-        # no AS path — never compare MED and are not counted).
-        self._med_groups = {}
+        # prefix -> _PrefixSlot for every prefix with >= 1 candidate.
+        # The flat dict serves the per-update exact-match path (BGP
+        # updates hit it once each — keeping it a single dict probe
+        # preserves the seed's hot-path cost); the structural store
+        # mirrors the same slot objects for LPM, covered walks and
+        # sorted iteration.
+        self._slots = {}
+        self._store = store if store is not None else default_prefix_store()
         #: Number of best-path selections actually executed: incremental
         #: challenger-vs-incumbent comparisons and full re-scans.  No-op
         #: retracts and trivial single-candidate adoptions do not count.
@@ -112,19 +176,23 @@ class LocRib:
         """
         prefix = route.prefix
         self._touch(prefix)
-        candidates = self._candidates.setdefault(prefix, {})
+        slot = self._slots.get(prefix)
+        if slot is None:
+            slot = _PrefixSlot()
+            self._slots[prefix] = slot
+            self._store.insert(prefix, slot)
+        candidates = slot.candidates
         previous = candidates.get(route.peer_id)
         candidates[route.peer_id] = route
         group = med_group(route)
         prev_group = None
+        counts = slot.med_counts
         if previous is None:
             if group is not None:
-                counts = self._med_groups.setdefault(prefix, {})
                 counts[group] = counts.get(group, 0) + 1
         elif previous is not route:
             prev_group = med_group(previous)
             if prev_group != group:
-                counts = self._med_groups.setdefault(prefix, {})
                 if prev_group is not None:
                     self._group_drop(counts, prev_group)
                 if group is not None:
@@ -132,30 +200,30 @@ class LocRib:
         old = self._best.get(prefix)
         if old is None:
             # First (or only) candidate: trivially best, nothing to compare.
-            self._best[prefix] = route
+            self._best[prefix] = slot.best = route
             return None, route
         if route.peer_id == old.peer_id:
             if len(candidates) == 1:
                 # Replaced the lone candidate: still trivially best.
-                self._best[prefix] = route
+                self._best[prefix] = slot.best = route
                 return old, route
-            return self._full_reselect(prefix)
-        if group is not None and self._med_groups[prefix][group] > 1:
+            return self._full_reselect(prefix, slot)
+        if group is not None and counts[group] > 1:
             # MED in play: the challenger can displace its group's
             # winner without beating the incumbent pairwise (and vice
             # versa), so one comparison cannot decide.
-            return self._full_reselect(prefix)
+            return self._full_reselect(prefix, slot)
         if (prev_group is not None and prev_group != group
-                and self._med_groups[prefix].get(prev_group)
+                and counts.get(prev_group)
                 and self._evicts_group_winner(candidates, previous,
                                               prev_group)):
             # The replaced route was its old MED group's winner; its
             # eviction restores a weaker-in-group finalist that may
             # still beat the incumbent MED-blind.
-            return self._full_reselect(prefix)
+            return self._full_reselect(prefix, slot)
         self.decision_runs += 1
         if prefer(route, old):
-            self._best[prefix] = route
+            self._best[prefix] = slot.best = route
             return old, route
         return old, old
 
@@ -165,19 +233,20 @@ class LocRib:
         Removing a non-best candidate leaves the best untouched; only
         losing the best itself triggers a full re-scan.
         """
-        candidates = self._candidates.get(prefix)
-        if not candidates or peer_id not in candidates:
+        slot = self._slots.get(prefix)
+        if slot is None or peer_id not in slot.candidates:
             return self._best.get(prefix), self._best.get(prefix)
+        candidates = slot.candidates
         removed = candidates.pop(peer_id)
         self._touch(prefix)
         old = self._best.get(prefix)
         group = med_group(removed)
-        counts = self._med_groups.get(prefix, {})
+        counts = slot.med_counts
         if group is not None:
             self._group_drop(counts, group)
         if not candidates:
-            del self._candidates[prefix]
-            self._med_groups.pop(prefix, None)
+            del self._slots[prefix]
+            self._store.remove(prefix)
             self._best.pop(prefix, None)
             return old, None
         if old is not None and old.peer_id != peer_id:
@@ -188,7 +257,7 @@ class LocRib:
                 # overall best nor a MED group winner whose eviction
                 # could restore a stronger finalist.
                 return old, old
-        return self._full_reselect(prefix)
+        return self._full_reselect(prefix, slot)
 
     @staticmethod
     def _group_drop(counts, group):
@@ -209,15 +278,19 @@ class LocRib:
             if med_group(other) == group
         )
 
-    def _full_reselect(self, prefix):
+    def _full_reselect(self, prefix, slot=None):
         self.decision_runs += 1
         old = self._best.get(prefix)
-        candidates = self._candidates.get(prefix)
+        if slot is None:
+            slot = self._slots.get(prefix)
+        candidates = slot.candidates if slot is not None else None
         new = best_path(list(candidates.values())) if candidates else None
         if new is None:
             self._best.pop(prefix, None)
         else:
             self._best[prefix] = new
+        if slot is not None:
+            slot.best = new
         return old, new
 
     def best(self, prefix):
@@ -230,25 +303,76 @@ class LocRib:
         return self._best.keys()
 
     def candidates(self, prefix):
-        return dict(self._candidates.get(prefix, {}))
+        slot = self._slots.get(prefix)
+        return dict(slot.candidates) if slot is not None else {}
 
     def __len__(self):
         return len(self._best)
+
+    # -- trie-backed queries ------------------------------------------------
+
+    @property
+    def store(self):
+        """The underlying prefix store (read-only use: aggregation,
+        snapshot walks).  Values are :class:`_PrefixSlot` instances."""
+        return self._store
+
+    def lookup(self, prefix):
+        """Longest-prefix match over *selected* routes: the best route
+        of the most specific prefix covering ``prefix``, or None.
+
+        More-specific-wins receiver semantics — the property that makes
+        DRAGON deaggregation holes sound (DESIGN.md §14).
+        """
+        match = self._store.longest_match(prefix)
+        while match is not None:
+            matched, slot = match
+            if slot.best is not None:
+                return slot.best
+            # Candidate-less slots never exist, but a slot whose best
+            # is mid-withdrawal falls back to the next-shorter cover.
+            if matched.length == 0:
+                return None
+            shorter = Prefix(matched.value, matched.length - 1, matched.afi)
+            match = self._store.longest_match(shorter)
+        return None
+
+    def covered_best(self, prefix):
+        """(prefix, best route) for selected routes within ``prefix``,
+        in ascending prefix order (includes ``prefix`` itself)."""
+        return [
+            (stored, slot.best)
+            for stored, slot in self._store.covered(prefix)
+            if slot.best is not None
+        ]
+
+    def covering_best(self, prefix):
+        """(prefix, best route) for selected routes covering ``prefix``,
+        shortest first (includes ``prefix`` itself)."""
+        return [
+            (stored, slot.best)
+            for stored, slot in self._store.covering(prefix)
+            if slot.best is not None
+        ]
 
     # -- snapshot support (TENSOR backs the table up in the database) ------
 
     def export_entries(self):
         """Serializable view of every candidate path (sorted for determinism)."""
         entries = []
-        for prefix in sorted(self._candidates):
-            entries.extend(self.export_prefix_entries(prefix))
+        for prefix, slot in self._store.walk():
+            entries.extend(self._slot_entries(prefix, slot))
         return entries
 
     def export_prefix_entries(self, prefix):
         """The :meth:`export_entries` records for one prefix (possibly [])."""
-        candidates = self._candidates.get(prefix)
-        if not candidates:
+        slot = self._slots.get(prefix)
+        if slot is None:
             return []
+        return self._slot_entries(prefix, slot)
+
+    @staticmethod
+    def _slot_entries(prefix, slot):
         return [
             {
                 "prefix": str(prefix),
@@ -256,7 +380,8 @@ class LocRib:
                 "source_kind": route.source_kind,
                 "attributes": route.attributes.to_wire(),
             }
-            for peer_id, route in sorted(candidates.items(), key=lambda kv: str(kv[0]))
+            for peer_id, route in sorted(slot.candidates.items(),
+                                         key=lambda kv: str(kv[0]))
         ]
 
     def export_entries_since(self, seq):

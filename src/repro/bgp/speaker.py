@@ -62,6 +62,7 @@ class SpeakerConfig:
         mrai=DEFAULT_MRAI,
         mrai_mode="per_speaker",
         graceful_restart_time=None,
+        aggregates=(),
     ):
         self.name = name
         self.local_as = local_as
@@ -76,6 +77,11 @@ class SpeakerConfig:
             raise ValueError(f"bad mrai_mode {mrai_mode!r}")
         self.mrai_mode = mrai_mode
         self.graceful_restart_time = graceful_restart_time
+        # DRAGON-style export aggregation (DESIGN.md §14): aggregate
+        # prefixes this speaker advertises in place of uniform covered
+        # more-specifics, punching holes for divergent ones.  Empty
+        # (the default) leaves the export path bit-identical.
+        self.aggregates = tuple(aggregates)
 
     @property
     def router_id_int(self):
@@ -156,6 +162,13 @@ class BgpSpeaker:
         # peers that advertised fan-out work already paid generation for,
         # keyed by packed-attribute identity (cross-peer update packing).
         self._generation_cache = set()
+        # DRAGON export aggregation, active only when configured.
+        if config.aggregates:
+            from repro.bgp.aggregation import ExportAggregator
+
+            self.aggregator = ExportAggregator(config.name, config.aggregates)
+        else:
+            self.aggregator = None
 
     # ------------------------------------------------------------------
     # configuration
@@ -343,27 +356,30 @@ class BgpSpeaker:
     def session_established(self, session):
         """Initial table advertisement to a newly-established peer."""
         self.charge(self.config.per_peer_cost, lambda: None)
-        vrf = session.vrf
-        routes = [
-            (route.prefix, route.attributes)
-            for route in vrf.loc_rib.best_routes()
-            if route.peer_id != session.peer_id
-        ]
+        routes = self._full_table_for(session)
         if routes:
             self.advertise_routes_to_sessions(routes, [session])
 
     def session_down(self, session):
         """Hook: a session left ESTABLISHED (failure or admin)."""
+        if self.aggregator is not None:
+            self.aggregator.drop_session(session.peer_id)
 
     def readvertise(self, session):
+        routes = self._full_table_for(session)
+        if routes:
+            self.advertise_routes_to_sessions(routes, [session])
+
+    def _full_table_for(self, session):
         vrf = session.vrf
         routes = [
             (route.prefix, route.attributes)
             for route in vrf.loc_rib.best_routes()
             if route.peer_id != session.peer_id
         ]
-        if routes:
-            self.advertise_routes_to_sessions(routes, [session])
+        if self.aggregator is not None:
+            routes = self.aggregator.transform_table(vrf.loc_rib, session, routes)
+        return routes
 
     def resync_session(self, session, dead_prefixes=()):
         """Outbound resync after NSR adoption.
@@ -513,6 +529,13 @@ class BgpSpeaker:
             session = self.sessions.get(peer_id)
             if session is None or not session.established:
                 continue
+            if self.aggregator is not None:
+                # Aggregation rewrites each session's change-set (member
+                # suppression, hole punching), trading the identical-set
+                # fan-out grouping below for fewer advertised routes.
+                changes = self.aggregator.transform_changes(
+                    session.vrf.loc_rib, session, changes
+                )
             announcements = []
             withdrawals = []
             for prefix, route in changes.items():

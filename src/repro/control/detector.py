@@ -59,7 +59,7 @@ class _MachineSignals:
 
 
 class _ContainerSignals:
-    __slots__ = ("grpc_down", "ipsla_down", "dead_reported", "first_signal_at", "reported")
+    __slots__ = ("grpc_down", "ipsla_down", "dead_reported", "first_signal_at", "reported", "machine_name")
 
     def __init__(self):
         self.grpc_down = False
@@ -67,6 +67,7 @@ class _ContainerSignals:
         self.dead_reported = False
         self.first_signal_at = None
         self.reported = False
+        self.machine_name = None
 
 
 class FailureDetector:
@@ -106,6 +107,7 @@ class FailureDetector:
 
     def note_container_grpc(self, container_name, healthy, machine_name):
         state = self._container(container_name)
+        state.machine_name = machine_name
         state.grpc_down = not healthy
         if not healthy and state.first_signal_at is None:
             state.first_signal_at = self.engine.now
@@ -116,6 +118,7 @@ class FailureDetector:
 
     def note_container_ipsla(self, container_name, reachable, machine_name):
         state = self._container(container_name)
+        state.machine_name = machine_name
         state.ipsla_down = not reachable
         if not reachable and state.first_signal_at is None:
             state.first_signal_at = self.engine.now
@@ -180,6 +183,19 @@ class FailureDetector:
             if not state.any_down():
                 state.first_signal_at = None
                 state.reported = False
+                # The machine path just concluded "false positive".  Any
+                # container deferred to it (probes failing while machine
+                # signals were down) is still broken — the probes report
+                # edges, not levels, so without this sweep a container
+                # network failure overlapped by a transient host blip is
+                # never classified and the pair never recovers.
+                self._reevaluate_machine_containers(machine_name)
+
+    def _reevaluate_machine_containers(self, machine_name):
+        for container_name, state in list(self._containers.items()):
+            if (state.machine_name == machine_name
+                    and state.grpc_down and state.ipsla_down):
+                self._evaluate_container(container_name, machine_name)
 
     def _confirm_machine(self, machine_name):
         state = self._machine(machine_name)

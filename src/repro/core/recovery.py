@@ -19,6 +19,7 @@ finishes with an outbound resync
 withdrawals recorded in the live delta log, re-advertise the table.
 """
 
+from repro.bgp.aggregation import expand_snapshot_entries
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.prefixes import Prefix
 from repro.bgp.rib import LocRib, Route
@@ -55,7 +56,9 @@ class RecoveredState:
         marker = self.rib_markers.get(vrf, {"chunks": 0, "delta_floor": 0})
         chunks = self.rib_snapshots.get(vrf, {})
         for index in range(marker["chunks"]):
-            for entry in chunks.get(index, []):
+            # Snapshot-aggregated chunks (DESIGN.md §14) carry collapsed
+            # subtree records; expansion is the identity for plain ones.
+            for entry in expand_snapshot_entries(chunks.get(index, [])):
                 rib.offer(
                     Route(
                         Prefix.parse(entry["prefix"]),

@@ -28,6 +28,7 @@ routing-table writes:
 
 import zlib
 
+from repro.bgp.aggregation import aggregate_root, collapse_prefix_entries
 from repro.kvstore.client import CAUSE_FENCED
 from repro.kvstore.locks import LockManager
 
@@ -358,8 +359,14 @@ class ReplicationPipeline:
     """
 
     def __init__(self, pair_name, fast_client, bulk_client, on_unavailable=None,
-                 remote_client=None, remote_mode="sync"):
+                 remote_client=None, remote_mode="sync",
+                 aggregate_snapshots=False):
         self.pair_name = pair_name
+        # DRAGON-style snapshot aggregation (DESIGN.md §14): chunk
+        # entries collapse complete uniform subtrees into aggregate
+        # records, and prefixes bucket by aggregate root so siblings
+        # co-locate.  Lossless — recovery expands to the same table.
+        self.aggregate_snapshots = aggregate_snapshots
         self.fast = WriteCoalescer(fast_client, on_unavailable=on_unavailable,
                                    name="fast")
         self.bulk = WriteCoalescer(bulk_client, on_unavailable=on_unavailable,
@@ -391,6 +398,10 @@ class ReplicationPipeline:
         self.compactions = 0
         self.incremental_compactions = 0
         self.snapshot_chunks_written = 0
+        # Aggregation effectiveness: entry counts before/after collapse
+        # across all chunk writes (equal when aggregation is off).
+        self.snapshot_entries_raw = 0
+        self.snapshot_entries_written = 0
 
     # ------------------------------------------------------------------
     # message replication (fast channel, per-connection ordering)
@@ -487,6 +498,13 @@ class ReplicationPipeline:
     def needs_compaction(self, vrf, threshold=COMPACTION_THRESHOLD):
         return self._delta_live.get(vrf, 0) >= threshold
 
+    def _chunk_bucket(self, prefix, buckets):
+        """Chunk assignment: by full prefix normally, by aggregate root
+        under snapshot aggregation (collapse needs siblings together)."""
+        if self.aggregate_snapshots:
+            return _bucket_of(aggregate_root(prefix), buckets)
+        return _bucket_of(prefix, buckets)
+
     def compact(self, vrf, loc_rib, on_done=None):
         """Replace accumulated deltas with chunked snapshot records.
 
@@ -519,7 +537,7 @@ class ReplicationPipeline:
             if entries:
                 sizes[prefix] = len(entries)
             if state["buckets"]:
-                bucket = _bucket_of(prefix, state["buckets"])
+                bucket = self._chunk_bucket(prefix, state["buckets"])
                 dirty_buckets.add(bucket)
                 bucket_members = members.setdefault(bucket, set())
                 if entries:
@@ -534,7 +552,7 @@ class ReplicationPipeline:
             buckets = max(1, -(-total // SNAPSHOT_CHUNK_ROUTES))
             members = {}
             for prefix in sizes:
-                members.setdefault(_bucket_of(prefix, buckets), set()).add(prefix)
+                members.setdefault(self._chunk_bucket(prefix, buckets), set()).add(prefix)
             state["buckets"] = buckets
             state["members"] = members
             dirty_buckets = set(range(buckets))
@@ -548,9 +566,16 @@ class ReplicationPipeline:
         else:
             self.incremental_compactions += 1
         for index in sorted(dirty_buckets):
-            entries = []
-            for prefix in sorted(members.get(index, ()), key=str):
-                entries.extend(loc_rib.export_prefix_entries(prefix))
+            bucket_prefixes = sorted(members.get(index, ()), key=str)
+            if self.aggregate_snapshots:
+                raw = sum(sizes.get(prefix, 0) for prefix in bucket_prefixes)
+                entries = collapse_prefix_entries(loc_rib, bucket_prefixes)
+                self.snapshot_entries_raw += raw
+                self.snapshot_entries_written += len(entries)
+            else:
+                entries = []
+                for prefix in bucket_prefixes:
+                    entries.extend(loc_rib.export_prefix_entries(prefix))
             self.bulk.set(rib_snapshot_key(self.pair_name, vrf, index), entries)
             self.snapshot_chunks_written += 1
         # Snapshot marker: how many chunks are current (readers ignore

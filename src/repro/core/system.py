@@ -213,7 +213,8 @@ class TensorSystem:
     def create_pair(self, name, primary_machine, backup_machine, service_addr,
                     local_as, router_id, neighbors, config_entries=100,
                     preheat_backup=True, profile="tensor", mrai=None,
-                    mrai_mode="per_speaker"):
+                    mrai_mode="per_speaker", aggregate_snapshots=False,
+                    aggregates=()):
         pair = TensorPair(
             self,
             name,
@@ -228,6 +229,8 @@ class TensorSystem:
             profile=profile,
             mrai=mrai,
             mrai_mode=mrai_mode,
+            aggregate_snapshots=aggregate_snapshots,
+            aggregates=aggregates,
         )
         self.pairs[name] = pair
         self.controller.register_pair(pair)
@@ -283,7 +286,8 @@ class TensorPair:
     def __init__(self, system, name, primary_machine, backup_machine, service_addr,
                  local_as, router_id, neighbors, config_entries=100,
                  preheat_backup=True, profile="tensor", mrai=None,
-                 mrai_mode="per_speaker"):
+                 mrai_mode="per_speaker", aggregate_snapshots=False,
+                 aggregates=()):
         self.system = system
         self.engine = system.engine
         self.name = name
@@ -296,6 +300,11 @@ class TensorPair:
         self.profile = profile
         self.mrai = mrai
         self.mrai_mode = mrai_mode
+        # DRAGON aggregation knobs (DESIGN.md §14), both default-off:
+        # snapshot aggregation collapses uniform subtrees in the KV
+        # snapshot chunks; ``aggregates`` enables export aggregation.
+        self.aggregate_snapshots = aggregate_snapshots
+        self.aggregates = tuple(aggregates)
 
         self.active_machine = primary_machine
         self.standby_machine = backup_machine
@@ -381,6 +390,7 @@ class TensorPair:
         self.pipeline = ReplicationPipeline(
             self.name, fast, bulk,
             remote_client=remote_client, remote_mode=remote_mode,
+            aggregate_snapshots=self.aggregate_snapshots,
         )
         self.speaker = TensorBgpSpeaker(
             self.engine,
@@ -389,6 +399,7 @@ class TensorPair:
                 self.name, self.local_as, self.router_id, profile=self.profile,
                 mrai=self.mrai if self.mrai is not None else DEFAULT_MRAI,
                 mrai_mode=self.mrai_mode,
+                aggregates=self.aggregates,
             ),
             self.pipeline,
             self.name,

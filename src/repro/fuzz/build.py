@@ -155,6 +155,9 @@ class _FuzzWorkloadDriver:
     def __init__(self, spec, remotes, suite_of_remote, rand):
         self.remotes = remotes
         self.suite_of_remote = suite_of_remote  # global idx -> (suite, local idx)
+        # uniform layouts share one attribute set per burst — the
+        # DRAGON-aggregatable shape (DESIGN.md §14)
+        self.uniform = spec.aggregation_layout in ("uniform", "snapshot")
         self.gens = [
             RouteGenerator(
                 rand.fork(f"workload:{index}"),
@@ -171,7 +174,8 @@ class _FuzzWorkloadDriver:
         vrf_name = session.config.vrf_name
         gen = self.gens[index]
         if event["action"] == "advertise":
-            routes = gen.routes(
+            make_routes = gen.uniform_routes if self.uniform else gen.routes
+            routes = make_routes(
                 event["count"], base=event["base"], length=event["length"]
             )
             for prefix, attributes in routes:
@@ -234,6 +238,7 @@ def build_fuzz_system(spec, hold_acks=True, tracing=False):
             neighbors=specs,
             mrai=spec.mrai,
             mrai_mode=spec.mrai_mode,
+            aggregate_snapshots=spec.aggregation_layout == "snapshot",
         )
         pairs.append((pair, members))
 
@@ -295,7 +300,9 @@ class FuzzPreparedRun:
         if spec.initial_routes:
             for index, (remote, session) in enumerate(self.remotes):
                 gen = self.driver.gens[index]
-                routes = gen.routes(
+                make_routes = (gen.uniform_routes if self.driver.uniform
+                               else gen.routes)
+                routes = make_routes(
                     spec.initial_routes, base=f"{10 + index}.248.0.0"
                 )
                 remote.speaker.originate_many(

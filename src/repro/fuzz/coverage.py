@@ -5,6 +5,9 @@ rather than what it was configured to do:
 
 - ``topology`` — pair count, neighbor count, sorted VRF group sizes,
   MRAI mode, policy counts (the materialized shape);
+- ``workload`` — the burst prefix density and attribute/aggregation
+  layout (DESIGN.md §14): deeper tries and DRAGON-aggregatable tables
+  are behaviourally distinct shapes worth separate corpus exemplars;
 - ``oracles`` — the merged verdict bitmap: per oracle, whether it was
   exercised and whether it tripped (:meth:`OracleSuite.verdict_bitmap`);
 - ``phases`` — the trace store's log2-bucketed span counts per phase
@@ -51,6 +54,10 @@ def run_profile(result):
                 sum(1 for n in spec.neighbors if n["export_policy"]),
             ],
         },
+        "workload": {
+            "density": spec.prefix_density,
+            "aggregation": spec.aggregation_layout,
+        },
         "oracles": [[name, tripped]
                     for name, tripped in result.verdict_bitmap()],
         "phases": _canonical_phases(
@@ -81,6 +88,9 @@ def profile_from_chaos(result):
             "mrai_mode": "per_speaker",
             "policies": [0, 0],
         },
+        # the chaos corpus always drives /24 bursts with pooled
+        # attributes and plain snapshots — the fuzz-spec defaults
+        "workload": {"density": "standard", "aggregation": "scattered"},
         "oracles": [[name, tripped]
                     for name, tripped in result.suite.verdict_bitmap()],
         "phases": _canonical_phases(

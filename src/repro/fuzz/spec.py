@@ -27,6 +27,20 @@ from repro.sim.rand import DeterministicRandom
 
 VRF_LAYOUTS = ("shared", "per_peer", "grouped")
 
+#: Prefix-density of the workload bursts (DESIGN.md §14): how deep the
+#: burst prefixes sit in the trie.  ``standard`` keeps the chaos /24
+#: scheme, ``dense`` packs /26 more-specifics into the same blocks,
+#: ``mixed`` cycles /24-/26 per block so covering and covered prefixes
+#: coexist in one Loc-RIB.
+PREFIX_DENSITIES = ("standard", "dense", "mixed")
+
+#: Attribute layout across a burst, the aggregation axis (§14):
+#: ``scattered`` draws per-route attributes from the generator pool,
+#: ``uniform`` shares one attribute set per burst (the DRAGON best
+#: case), ``snapshot`` additionally replicates with snapshot
+#: aggregation enabled on every pair.
+AGGREGATION_LAYOUTS = ("scattered", "uniform", "snapshot")
+
 #: Injection kinds that require a full recovery before the next one.
 HARD_KINDS = ("application", "container", "container_network",
               "host_machine", "host_network")
@@ -35,6 +49,25 @@ HARD_KINDS = ("application", "container", "container_network",
 #: deny policy may censor; initial routes preload at second octet 248,
 #: far outside any censorable block.
 DENY_BLOCKS = 4
+
+#: A burst block owns 8 second-octet units of one /8; its prefixes must
+#: never spill into the next block or the disjointness scheme breaks.
+BLOCK_SPAN = 8 << 16
+
+
+def burst_length(density, base):
+    """The prefix length a burst at ``base`` uses under ``density``.
+
+    Pure function of (density, base) so an advertise event and the
+    withdraw that later pops its block always regenerate the same
+    prefixes, and so mutations that flip the density can rewrite every
+    event consistently."""
+    if density == "standard":
+        return 24
+    if density == "dense":
+        return 26
+    block_index = int(base.split(".")[1]) // 8
+    return (24, 25, 26)[block_index % 3]
 
 
 class FuzzSpec:
@@ -54,7 +87,8 @@ class FuzzSpec:
     def __init__(self, seed, neighbors=(), vrf_layout="per_peer",
                  mrai_mode="per_speaker", mrai=None,
                  max_peers_per_container=1, initial_routes=0,
-                 injections=(), workload=(), duration=60.0):
+                 injections=(), workload=(), duration=60.0,
+                 prefix_density="standard", aggregation_layout="scattered"):
         self.seed = seed
         self.neighbors = [dict(neighbor) for neighbor in neighbors]
         self.vrf_layout = vrf_layout
@@ -65,6 +99,8 @@ class FuzzSpec:
         self.injections = [dict(event) for event in injections]
         self.workload = [dict(event) for event in workload]
         self.duration = duration
+        self.prefix_density = prefix_density
+        self.aggregation_layout = aggregation_layout
 
     # ------------------------------------------------------------------
 
@@ -112,6 +148,8 @@ class FuzzSpec:
             "injections": [dict(event) for event in self.injections],
             "workload": [dict(event) for event in self.workload],
             "duration": self.duration,
+            "prefix_density": self.prefix_density,
+            "aggregation_layout": self.aggregation_layout,
         }
 
     @classmethod
@@ -127,6 +165,10 @@ class FuzzSpec:
             injections=data["injections"],
             workload=data["workload"],
             duration=data["duration"],
+            # absent in pre-§14 specs (old repro scripts): the defaults
+            # reproduce the original /24-scattered behaviour exactly
+            prefix_density=data.get("prefix_density", "standard"),
+            aggregation_layout=data.get("aggregation_layout", "scattered"),
         )
 
     def copy(self):
@@ -137,6 +179,8 @@ class FuzzSpec:
             f"<FuzzSpec seed={self.seed} neighbors={len(self.neighbors)}"
             f" pairs={self.pair_count()} layout={self.vrf_layout}"
             f" mrai_mode={self.mrai_mode}"
+            f" density={self.prefix_density}"
+            f" agg={self.aggregation_layout}"
             f" injections={len(self.injections)}"
             f" bursts={len(self.workload)} {self.duration:.0f}s>"
         )
@@ -155,6 +199,11 @@ def validate_fuzz_spec(spec):
         raise SpecError(f"unknown mrai_mode {spec.mrai_mode!r}")
     if spec.vrf_layout not in VRF_LAYOUTS:
         raise SpecError(f"unknown vrf_layout {spec.vrf_layout!r}")
+    if spec.prefix_density not in PREFIX_DENSITIES:
+        raise SpecError(f"unknown prefix_density {spec.prefix_density!r}")
+    if spec.aggregation_layout not in AGGREGATION_LAYOUTS:
+        raise SpecError(
+            f"unknown aggregation_layout {spec.aggregation_layout!r}")
     plan = spec.split_plan()
     pairs = len(plan.assignments)
     # no VRF may straddle two containers (one VRF = one routing table)
@@ -198,6 +247,15 @@ def validate_fuzz_spec(spec):
         if not 0 <= event["remote"] < len(spec.neighbors):
             raise SpecError(f"burst references remote {event['remote']}"
                             f" of {len(spec.neighbors)}")
+        expected = burst_length(spec.prefix_density, event["base"])
+        if event["length"] != expected:
+            raise SpecError(
+                f"burst at {event['base']} has length {event['length']}"
+                f" but density {spec.prefix_density!r} demands /{expected}")
+        if event["count"] * (1 << (32 - event["length"])) > BLOCK_SPAN:
+            raise SpecError(
+                f"burst at {event['base']}/{event['length']} x"
+                f" {event['count']} spills out of its disjoint block")
     if spec.duration <= last_hard:
         raise SpecError("duration must cover every injection")
     return spec
@@ -259,6 +317,8 @@ def generate_fuzz_spec(seed):
 
     mrai_mode = r.choice(MRAI_MODES)
     mrai = r.choice((None, 0.05, 0.2, 0.5))
+    density = r.choice(PREFIX_DENSITIES)
+    aggregation = r.choice(AGGREGATION_LAYOUTS)
     neighbors = []
     for index in range(count):
         hold = r.choice((30, 90, 180))
@@ -349,9 +409,10 @@ def generate_fuzz_spec(seed):
                              "action": "withdraw", **block})
         else:
             index = sum(1 for event in workload if event["remote"] == remote)
+            base = f"{10 + remote}.{(index * 8) % 248}.0.0"
             block = {
-                "base": f"{10 + remote}.{(index * 8) % 248}.0.0",
-                "length": 24,
+                "base": base,
+                "length": burst_length(density, base),
                 "count": r.choice((50, 120, 200)),
             }
             advertised[remote].append(block)
@@ -373,6 +434,8 @@ def generate_fuzz_spec(seed):
         injections=injections,
         workload=workload,
         duration=round(horizon + SETTLE_TAIL, 3),
+        prefix_density=density,
+        aggregation_layout=aggregation,
     )
     return validate_fuzz_spec(spec)
 
@@ -391,6 +454,7 @@ def mutate_fuzz_spec(spec, mutation_seed):
     op = r.choice((
         "mrai_mode", "mrai", "peer_mrai", "bfd", "policy",
         "initial_routes", "burst_size", "injection_time", "add_burst",
+        "prefix_density", "aggregation_layout",
     ))
     if op == "mrai_mode":
         candidate.mrai_mode = r.choice(
@@ -445,10 +509,24 @@ def mutate_fuzz_spec(spec, mutation_seed):
             "remote": remote,
             "action": "advertise",
             "base": f"{10 + remote}.{(index * 8) % 248}.0.0",
-            "length": 24,
+            "length": burst_length(candidate.prefix_density,
+                                   f"{10 + remote}.{(index * 8) % 248}.0.0"),
             "count": r.choice((50, 120, 200)),
         })
         candidate.workload.sort(key=lambda e: e["at"])
+    elif op == "prefix_density":
+        candidate.prefix_density = r.choice(
+            [d for d in PREFIX_DENSITIES if d != spec.prefix_density]
+        )
+        # every burst (and the withdraw that pops its block) must follow
+        # the new density or the spec fails validation
+        for event in candidate.workload:
+            event["length"] = burst_length(candidate.prefix_density,
+                                           event["base"])
+    elif op == "aggregation_layout":
+        candidate.aggregation_layout = r.choice(
+            [a for a in AGGREGATION_LAYOUTS if a != spec.aggregation_layout]
+        )
     try:
         return validate_fuzz_spec(candidate)
     except SpecError:

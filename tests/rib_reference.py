@@ -1,0 +1,142 @@
+"""Brute-force Loc-RIB reference model for differential testing.
+
+:class:`ReferenceRib` reimplements the Loc-RIB's observable contract
+with the dumbest data structures that can possibly work: a flat dict of
+candidate maps, a full :func:`best_path` re-scan after *every* mutation
+(no incremental shortcuts, no MED-group counters), and linear scans for
+every tree query (LPM, covered, covering).  Roughly 40 lines of logic
+with no clever state to get wrong — the point is that any divergence
+from :class:`repro.bgp.rib.LocRib` under churn indicts the optimized
+implementation, not the oracle (DESIGN.md §14).
+
+Deliberately *not* modeled: ``decision_runs`` (the incremental
+machinery's efficiency counter) and the ``export_seq`` watermark
+protocol — those are performance contracts, pinned by their own unit
+tests; this model pins semantics only.
+"""
+
+from repro.bgp.decision import best_path
+from repro.bgp.prefixes import Prefix
+
+
+class ReferenceRib:
+    """Dict-of-dicts Loc-RIB with full re-selection on every change."""
+
+    def __init__(self):
+        self._candidates = {}  # prefix -> {peer_id: Route}
+
+    # -- mutation (mirrors LocRib.offer/retract return contract) ------------
+
+    def offer(self, route):
+        old = self.best(route.prefix)
+        self._candidates.setdefault(route.prefix, {})[route.peer_id] = route
+        return old, self.best(route.prefix)
+
+    def retract(self, prefix, peer_id):
+        old = self.best(prefix)
+        candidates = self._candidates.get(prefix)
+        if candidates is not None:
+            candidates.pop(peer_id, None)
+            if not candidates:
+                del self._candidates[prefix]
+        return old, self.best(prefix)
+
+    # -- selection -----------------------------------------------------------
+
+    def best(self, prefix):
+        candidates = self._candidates.get(prefix)
+        if not candidates:
+            return None
+        return best_path(list(candidates.values()))
+
+    def prefixes(self):
+        return set(self._candidates)
+
+    def candidates(self, prefix):
+        return dict(self._candidates.get(prefix, {}))
+
+    def __len__(self):
+        return len(self._candidates)
+
+    # -- tree queries, by linear scan ----------------------------------------
+
+    def lookup(self, prefix):
+        """Longest-prefix match over selected routes."""
+        covers = [p for p in self._candidates if p.contains(prefix)]
+        if not covers:
+            return None
+        return self.best(max(covers, key=lambda p: p.length))
+
+    def covered_best(self, prefix):
+        return [
+            (stored, self.best(stored))
+            for stored in sorted(self._candidates)
+            if prefix.contains(stored)
+        ]
+
+    def covering_best(self, prefix):
+        return [
+            (stored, self.best(stored))
+            for stored in sorted(self._candidates, key=lambda p: p.length)
+            if stored.contains(prefix)
+        ]
+
+    # -- snapshot ------------------------------------------------------------
+
+    def export_entries(self):
+        entries = []
+        for prefix in sorted(self._candidates):
+            entries.extend(self.export_prefix_entries(prefix))
+        return entries
+
+    def export_prefix_entries(self, prefix):
+        candidates = self._candidates.get(prefix)
+        if not candidates:
+            return []
+        return [
+            {
+                "prefix": str(prefix),
+                "peer_id": peer_id,
+                "source_kind": route.source_kind,
+                "attributes": route.attributes.to_wire(),
+            }
+            for peer_id, route in sorted(candidates.items(),
+                                         key=lambda kv: str(kv[0]))
+        ]
+
+    def digest(self):
+        """The per-RIB slice of ``TensorSystem.rib_digest``: a canonical
+        tuple over every candidate path, attributes in wire form."""
+        return tuple(
+            (entry["prefix"], str(entry["peer_id"]), entry["source_kind"],
+             entry["attributes"])
+            for entry in self.export_entries()
+        )
+
+
+def rib_digest_of(loc_rib):
+    """The :meth:`ReferenceRib.digest` projection of a real LocRib."""
+    return tuple(
+        (entry["prefix"], str(entry["peer_id"]), entry["source_kind"],
+         entry["attributes"])
+        for entry in loc_rib.export_entries()
+    )
+
+
+def probe_points(prefixes, rng, extra=8):
+    """Deterministic LPM probe positions for a differential run: every
+    stored prefix, its parent, a sibling perturbation, a one-longer
+    child, the global edges, and a few random positions."""
+    points = {Prefix(0, 0), Prefix(0, 32), Prefix(2**32 - 1, 32)}
+    for prefix in prefixes:
+        points.add(prefix)
+        if prefix.length:
+            points.add(Prefix(prefix.value, prefix.length - 1))
+            points.add(Prefix(prefix.value ^ (1 << (32 - prefix.length)),
+                              prefix.length))
+        if prefix.length < 32:
+            points.add(Prefix(prefix.value | (1 << (31 - prefix.length)),
+                              prefix.length + 1))
+    for _ in range(extra):
+        points.add(Prefix(rng.randrange(2**32), rng.randrange(33)))
+    return sorted(points)

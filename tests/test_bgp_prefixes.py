@@ -153,3 +153,69 @@ def test_trie_v4_v6_independent():
     trie.insert(Prefix.parse("::/0"), "v6")
     assert trie.longest_match(Prefix.parse("1.2.3.4/32"))[1] == "v4"
     assert trie.longest_match(Prefix.parse("2001:db8::1/128"))[1] == "v6"
+
+
+# ----------------------------------------------------------------------
+# length-0 / max-length edge cases (DESIGN.md §14: the radix trie leans
+# on these invariants at its root and leaf extremes)
+# ----------------------------------------------------------------------
+
+def test_default_route_contains_everything_including_itself():
+    default = Prefix.parse("0.0.0.0/0")
+    assert default.contains(default)
+    assert default.contains(Prefix.parse("0.0.0.0/32"))
+    assert default.contains(Prefix.parse("255.255.255.255/32"))
+    assert default.contains(Prefix.parse("128.0.0.0/1"))
+    # ...but nothing contains the default except another default
+    assert not Prefix.parse("0.0.0.0/1").contains(default)
+    assert not Prefix.parse("0.0.0.0/32").contains(default)
+
+
+def test_v6_default_route_contains_everything():
+    default = Prefix.parse("::/0")
+    assert default.contains(Prefix.parse("2001:db8::/32"))
+    assert default.contains(Prefix.parse("::1/128"))
+    assert not default.contains(Prefix.parse("0.0.0.0/0"))  # cross-AFI
+
+
+def test_host_route_contains_only_itself():
+    host = Prefix.parse("192.0.2.1/32")
+    assert host.contains(host)
+    assert not host.contains(Prefix.parse("192.0.2.1/31"))
+    assert not host.contains(Prefix.parse("192.0.2.0/32"))
+    v6_host = Prefix.parse("2001:db8::1/128")
+    assert v6_host.contains(v6_host)
+    assert not v6_host.contains(Prefix.parse("2001:db8::/127"))
+
+
+def test_bit_at_full_range_and_bounds():
+    host = Prefix.parse("255.255.255.255/32")
+    assert [host.bit_at(i) for i in (0, 31)] == [1, 1]
+    lone = Prefix.parse("0.0.0.1/32")
+    assert lone.bit_at(31) == 1
+    assert sum(lone.bit_at(i) for i in range(32)) == 1
+    top = Prefix.parse("128.0.0.0/1")
+    assert top.bit_at(0) == 1
+    with pytest.raises(IndexError):
+        host.bit_at(32)
+    with pytest.raises(IndexError):
+        host.bit_at(-1)
+    with pytest.raises(IndexError):
+        Prefix.parse("::/0").bit_at(128)
+    assert Prefix.parse("::1/128").bit_at(127) == 1
+
+
+def test_common_prefix_len_edges():
+    default = Prefix.parse("0.0.0.0/0")
+    host = Prefix.parse("0.0.0.0/32")
+    # capped by the shorter operand
+    assert default.common_prefix_len(host) == 0
+    assert host.common_prefix_len(host) == 32
+    # identical values, differing lengths: capped by the shorter
+    assert Prefix.parse("10.0.0.0/8").common_prefix_len(
+        Prefix.parse("10.0.0.0/24")) == 8
+    # first-bit divergence
+    assert Prefix.parse("0.0.0.0/32").common_prefix_len(
+        Prefix.parse("128.0.0.0/32")) == 0
+    # explicit limit caps further
+    assert host.common_prefix_len(host, limit=5) == 5

@@ -96,6 +96,35 @@ def test_machine_failure_suppresses_container_reports(detector):
     assert reports == []  # attributed to the machine, not the container
 
 
+def test_transient_machine_blip_releases_deferred_container_report(detector):
+    """A container network failure overlapped by a transient host blip:
+    the container probes fail while machine signals are down (deferred to
+    the machine path), then the blip heals.  The machine path concludes
+    false positive — and must hand the still-failing container back for
+    classification, or the E4 is lost forever (the probes report edges,
+    not levels)."""
+    det, reports, engine = detector
+    det.note_machine_status("m1", {"containers": {"c1": {"running": True}}})
+    det.note_machine_grpc("m1", False)  # the blip starts
+    det.note_container_grpc("c1", False, "m1")
+    det.note_container_ipsla("c1", False, "m1")
+    engine.advance(1.0)
+    assert reports == []  # deferred: could still be a machine failure
+    det.note_machine_grpc("m1", True)  # blip heals; container stays dark
+    assert len(reports) == 1
+    assert reports[0].kind == "container_network"
+    assert reports[0].target_name == "c1"
+
+
+def test_machine_recovery_with_healthy_containers_reports_nothing(detector):
+    det, reports, engine = detector
+    det.note_machine_grpc("m1", False)
+    det.note_container_grpc("c1", False, "m1")
+    det.note_container_grpc("c1", True, "m1")  # container came back too
+    det.note_machine_grpc("m1", True)
+    assert reports == []
+
+
 def test_reset_target_allows_refire(detector):
     det, reports, engine = detector
     for sig in ("grpc", "agent", "peer"):

@@ -1,0 +1,137 @@
+"""Differential Loc-RIB harness (DESIGN.md §14): trie vs reference.
+
+Three implementations run in lockstep under seeded insert/retract
+churn — the production :class:`LocRib` on its radix-trie store, the
+same LocRib on the seed-era flat-dict store, and the brute-force
+:class:`ReferenceRib` oracle — and must agree at every step on best
+routes, and at every checkpoint on snapshot exports, digest
+bit-identity, LPM answers, and covered/covering subtree walks.
+
+The workload is adversarial for the trie: clustered prefixes (sibling
+splits, shared stems), MED-group attribute mixes (exercises the
+incremental-reselect fallbacks), covering chains (/8 over /16 over /24
+over /32), the default route, and bursts of retract-to-empty that force
+node pruning.
+"""
+
+import pytest
+
+from repro.bgp import AsPath, LocRib, Origin, PathAttributes, Prefix
+from repro.bgp.radix import DictPrefixStore
+from repro.bgp.rib import Route
+from repro.sim.rand import DeterministicRandom
+
+from tests.rib_reference import ReferenceRib, probe_points, rib_digest_of
+
+PEERS = [f"peer{i}" for i in range(6)]
+
+
+def _attributes(rng):
+    """Attribute mixes that reach every decision step, including MED
+    (same neighboring AS, different MED) and iBGP ranking."""
+    first_as = rng.choice([64500, 64501, 64502])
+    path = (first_as,) + tuple(
+        64600 + rng.randrange(4) for _ in range(rng.randrange(3)))
+    return PathAttributes(
+        origin=rng.choice([Origin.IGP, Origin.EGP, Origin.INCOMPLETE]),
+        as_path=AsPath.sequence(*path),
+        next_hop="1.1.1.1",
+        local_pref=rng.choice([None, 90, 100, 100, 110]),
+        med=rng.choice([None, 0, 10, 20]),
+    )
+
+
+def _prefix_pool(rng, size):
+    """Clustered pool: covering chains and dense sibling blocks."""
+    pool = [Prefix(0, 0)]  # default route: the root carries an entry
+    for _ in range(size // 3):
+        base = rng.choice([0x0A000000, 0x0B000000, 0xC0A80000])
+        block = base | (rng.randrange(16) << 16)
+        pool.append(Prefix(block, 16))
+        for sub in range(rng.randrange(1, 5)):
+            pool.append(Prefix(block | (sub << 8), 24))
+        pool.append(Prefix(block | rng.randrange(256), 32))
+    while len(pool) < size:
+        pool.append(Prefix(rng.randrange(2**32), rng.choice([8, 20, 28])))
+    return pool
+
+
+def _assert_checkpoint(trie_rib, dict_rib, reference, pool, rng):
+    exports = reference.export_entries()
+    assert trie_rib.export_entries() == exports
+    assert dict_rib.export_entries() == exports
+    digest = reference.digest()
+    assert rib_digest_of(trie_rib) == digest
+    assert rib_digest_of(dict_rib) == digest
+    assert set(trie_rib.prefixes()) == reference.prefixes()
+    for point in probe_points(pool, rng):
+        expected = reference.lookup(point)
+        assert trie_rib.lookup(point) == expected
+        assert dict_rib.lookup(point) == expected
+        assert trie_rib.covered_best(point) == reference.covered_best(point)
+        assert (trie_rib.covering_best(point)
+                == reference.covering_best(point))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lockstep_churn(seed):
+    rng = DeterministicRandom(seed).stream("rib-differential")
+    pool = _prefix_pool(rng, 30)
+    trie_rib = LocRib()
+    dict_rib = LocRib(store=DictPrefixStore())
+    reference = ReferenceRib()
+    steps = 400
+    for step in range(steps):
+        prefix = rng.choice(pool)
+        peer = rng.choice(PEERS)
+        retract_bias = 0.65 if step > steps * 0.7 else 0.3
+        if rng.random() < retract_bias:
+            expected = reference.retract(prefix, peer)
+            assert trie_rib.retract(prefix, peer) == expected
+            assert dict_rib.retract(prefix, peer) == expected
+        else:
+            route = Route(prefix, _attributes(rng), peer,
+                          rng.choice(["ebgp", "ebgp", "ibgp"]))
+            expected = reference.offer(route)
+            assert trie_rib.offer(route) == expected
+            assert dict_rib.offer(route) == expected
+        assert trie_rib.best(prefix) == reference.best(prefix)
+        if step % 80 == 79:
+            _assert_checkpoint(trie_rib, dict_rib, reference, pool, rng)
+    # Drain to empty: maximum pruning pressure on the trie.
+    for prefix in list(pool):
+        for peer in PEERS:
+            expected = reference.retract(prefix, peer)
+            assert trie_rib.retract(prefix, peer) == expected
+            assert dict_rib.retract(prefix, peer) == expected
+    assert len(trie_rib) == len(reference) == 0
+    assert trie_rib.export_entries() == []
+    assert len(trie_rib.store) == 0
+
+
+def test_incremental_matches_reference_decisions():
+    """The incremental MED-group shortcuts must land on the same best
+    route the full re-scan picks, across a dense same-prefix battle."""
+    rng = DeterministicRandom(99).stream("rib-med-battle")
+    prefix = Prefix.parse("10.0.0.0/8")
+    trie_rib, reference = LocRib(), ReferenceRib()
+    for _ in range(300):
+        peer = rng.choice(PEERS)
+        if rng.random() < 0.35:
+            assert (trie_rib.retract(prefix, peer)
+                    == reference.retract(prefix, peer))
+        else:
+            route = Route(prefix, _attributes(rng), peer)
+            assert trie_rib.offer(route) == reference.offer(route)
+        assert trie_rib.best(prefix) == reference.best(prefix)
+        assert trie_rib.candidates(prefix) == reference.candidates(prefix)
+
+
+def test_import_entries_round_trip_via_trie():
+    rng = DeterministicRandom(3).stream("rib-import")
+    rib = LocRib()
+    for prefix in _prefix_pool(rng, 20):
+        rib.offer(Route(prefix, _attributes(rng), rng.choice(PEERS)))
+    clone = LocRib.import_entries(rib.export_entries())
+    assert clone.export_entries() == rib.export_entries()
+    assert rib_digest_of(clone) == rib_digest_of(rib)
