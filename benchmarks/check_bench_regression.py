@@ -93,6 +93,44 @@ def _validate_parallel(fresh, baseline):
         )
     else:
         print(f"  quiet-window reduction: {quiet:.1f}x  ok")
+    reduction = fresh.get("bytes_reduction_4w")
+    if reduction is None:
+        failures.append("bytes_reduction_4w missing from "
+                        "BENCH_parallel.json (re-run make bench-parallel)")
+    elif reduction < 3.0:
+        failures.append(
+            f"barrier bytes: shm codec only {reduction:.2f}x smaller than "
+            f"the pickle-over-pipe reference (< 3x floor)"
+        )
+    else:
+        print(f"  barrier bytes reduction: {reduction:.2f}x  ok")
+    # serialization and dispatch must stay a sliver of the workers=4
+    # wall: the shm transport's whole point is that barrier traffic is
+    # cheap.  Absolute floors keep the ratio meaningful on fast hosts
+    # where both sides of it are noise-sized.
+    wall = fresh.get("wall", {}).get("workers_4", 0.0)
+    split = fresh.get("time_split", {}).get("workers_4", {})
+    serialize = split.get("serialize_s")
+    dispatch = split.get("barrier_send_s")
+    if serialize is None or dispatch is None:
+        failures.append("time_split.workers_4 serialize_s/barrier_send_s "
+                        "missing from BENCH_parallel.json")
+    else:
+        serialize_cap = max(0.10 * wall, 0.05)
+        dispatch_cap = max(0.05 * wall, 0.02)
+        if serialize > serialize_cap:
+            failures.append(
+                f"serialize_s {serialize:.3f}s exceeds "
+                f"{serialize_cap:.3f}s (10% of workers=4 wall)"
+            )
+        if dispatch > dispatch_cap:
+            failures.append(
+                f"barrier_send_s {dispatch:.3f}s exceeds "
+                f"{dispatch_cap:.3f}s (5% of workers=4 wall)"
+            )
+        if serialize <= serialize_cap and dispatch <= dispatch_cap:
+            print(f"  barrier overhead: serialize={serialize:.3f}s "
+                  f"dispatch={dispatch:.3f}s within caps  ok")
     return failures
 
 

@@ -15,10 +15,14 @@ comparable; use this to aim optimization work before touching code.
 
 ``--parallel`` (``make profile-parallel``) restricts the run to the
 parallel fleet workload and prints the coordinator's timing split
-(compute vs barrier-wait vs dispatch vs serialization) alongside the
-profile — the same split ``make bench-parallel`` records under
-``time_split`` in BENCH_parallel.json — so window-protocol overhead can
-be attributed before reading a single profiler row.
+(compute vs barrier-wait vs dispatch vs serialization, with the
+serialization side broken out into frame encode, decode, and
+shared-memory ring-copy time) alongside the profile — the same split
+``make bench-parallel`` records under ``time_split`` in
+BENCH_parallel.json — so window-protocol overhead can be attributed
+before reading a single profiler row.  Because the transport split is
+all zeros at workers=1, ``--parallel`` follows the profiled run with an
+unprofiled workers=2 shared-memory run and prints its split too.
 
 Usage:
     PYTHONPATH=src python benchmarks/profile_hotspots.py [--top N]
@@ -45,13 +49,13 @@ def profile_receive_path():
     lab.receive_time(20_000)
 
 
-def profile_parallel_fleet():
+def profile_parallel_fleet(workers=1):
     from repro.sim.parallel.runtime import ParallelRunner
     from repro.workloads.fleet import fleet_site_specs
 
     specs = fleet_site_specs(4, pairs=2, routes=20, border_routes=10,
                              churn_ticks=2)
-    result = ParallelRunner(specs, workers=1).run(25.0)
+    result = ParallelRunner(specs, workers=workers).run(25.0)
     return result
 
 
@@ -64,15 +68,23 @@ WORKLOADS = (
 def _print_timing_split(result):
     timing = result.timing
     wall = timing.get("wall_s") or 1.0
+    transport = result.transport
     print(f"\ncoordinator timing split"
-          f" ({result.windows} windows, wall {wall:.2f}s):")
+          f" ({transport['kind']}, {result.windows} windows,"
+          f" wall {wall:.2f}s):")
     for key in ("compute_s", "barrier_wait_s", "barrier_send_s",
-                "serialize_s"):
+                "serialize_s", "rebalance_s"):
         value = timing.get(key, 0.0)
         print(f"  {key:16s} {value:8.3f}s  ({value / wall:5.1%} of wall)")
-    transport = result.transport
+    # frame codec encode/decode (these two sum to serialize_s) plus the
+    # raw memcpy into / out of the shared-memory rings
+    for key in ("encode_s", "decode_s", "ring_copy_s"):
+        value = timing.get(key, 0.0)
+        print(f"    {key:14s} {value:8.3f}s  ({value / wall:5.1%} of wall)")
     print(f"  transport        {transport['frames']} frames"
-          f" / {transport['batches']} batches / {transport['bytes']} bytes")
+          f" / {transport['batches']} batches / {transport['bytes']} bytes"
+          f" / {transport.get('ring_wraps', 0)} ring wraps"
+          f" / {transport.get('overflow_batches', 0)} overflow batches")
 
 
 def run_profile(title, workload, top):
@@ -98,6 +110,10 @@ def main(argv=None):
         result = run_profile("parallel fleet (4 sites, workers=1)",
                              profile_parallel_fleet, args.top)
         _print_timing_split(result)
+        # the transport split only has content with real worker
+        # processes; run workers=2 outside the profiler (child-process
+        # time is invisible to cProfile anyway)
+        _print_timing_split(profile_parallel_fleet(workers=2))
         return 0
     for title, workload in WORKLOADS:
         run_profile(title, workload, args.top)

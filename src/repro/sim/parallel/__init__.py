@@ -1,21 +1,38 @@
 """Conservative parallel simulation runtime (sharded multi-process execution).
 
 See :mod:`repro.sim.parallel.runtime` for the execution model and the
-scenario-builder contract, and :mod:`repro.sim.parallel.boundary` for how
-packets cross shard boundaries.
+scenario-builder contract, :mod:`repro.sim.parallel.boundary` for how
+packets cross shard boundaries, and :mod:`repro.sim.parallel.transport`
+for the pluggable barrier transports (shared-memory rings vs the
+pickle-over-pipe reference).
 """
 
 from repro.sim.parallel.boundary import BoundaryLink, CrossShardFrame, ShardBoundary
-from repro.sim.parallel.partition import assign_shards, partition_items
-from repro.sim.parallel.runtime import ParallelResult, ParallelRunner, ShardSpec
+from repro.sim.parallel.partition import (
+    assign_shards,
+    partition_items,
+    rebalance_moves,
+)
+from repro.sim.parallel.runtime import (
+    ParallelResult,
+    ParallelRunner,
+    RebalanceConfig,
+    ShardSpec,
+)
+from repro.sim.parallel.transport import FrameCodec, PickleCodec, ShmRing
 
 __all__ = [
     "BoundaryLink",
     "CrossShardFrame",
-    "ShardBoundary",
+    "FrameCodec",
     "ParallelResult",
     "ParallelRunner",
+    "PickleCodec",
+    "RebalanceConfig",
+    "ShardBoundary",
     "ShardSpec",
+    "ShmRing",
     "assign_shards",
     "partition_items",
+    "rebalance_moves",
 ]

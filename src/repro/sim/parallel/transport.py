@@ -1,0 +1,927 @@
+"""Pluggable barrier transports for the parallel runtime.
+
+The coordinator/worker window protocol (see
+:mod:`repro.sim.parallel.runtime`) moves *frame batches* — the
+cross-shard traffic of one window, grouped per destination shard —
+between OS processes at every barrier.  How those bytes travel is a
+transport concern, factored out here behind one interface so the
+runtime can run differentially over either implementation:
+
+``pipe`` (reference)
+    PR 6's transport: each batch is one ``pickle.dumps`` blob riding
+    the worker's control pipe inline.  Simple, stateless, and the
+    definition of correct — the shared-memory transport must be
+    bit-identical to it, and ``ParallelRunner(transport="pipe")``
+    keeps it selectable for differential runs.
+
+``shm`` (default for ``workers > 1``)
+    Batches are encoded with the compact :class:`FrameCodec` below and
+    written into a ``multiprocessing.shared_memory`` ring buffer —
+    one ring per worker, written only by its owning worker.  The
+    control pipe then carries a tiny *handle*
+    ``("r", worker, start, length)`` instead of the payload; any other
+    worker attaches to the ring read-only and copies the bytes out
+    directly, so batch payloads cross exactly one shared-memory write
+    and one read, never a pickle of the control tuple.  Ring ownership
+    is lock-step: the barrier protocol guarantees all data written
+    during window ``k`` is consumed before the writer's window ``k+2``
+    begins, so the ring needs no locks — the writer frees space two
+    windows behind its cursor (:meth:`ShmRing.rotate`).  A batch that
+    does not fit in the remaining ring space falls back to an inline
+    ``("i", bytes)`` handle on the pipe (counted as ``overflow``), so
+    backpressure degrades to the reference transport instead of
+    deadlocking the barrier.
+
+Compact frame encoding
+----------------------
+:class:`FrameCodec` encodes a batch without pickle on the hot path.
+Frames are grouped into per-source-shard sections; each frame is
+
+    arrival (prefix-compressed f64) | frame seq (delta) | packet
+
+All codec state lives per directed ``(src_shard, dst_shard)`` *stream*
+(:class:`_StreamEncoder` mirrored by :class:`_StreamDecoder`), so the
+encoding exploits what cross-shard BGP traffic actually looks like:
+
+* **Flow interning** — a handful of long-lived TCP flows carry all
+  frames, so the 5-tuple ``(src, dst, protocol, sport, dport)`` is sent
+  once per stream and referenced by a flow id afterwards (inline in the
+  kind byte for the first seven flows; IPv4 addresses pack to 4 raw
+  bytes in the definition).  Per flow, the IP+TCP framing overhead
+  ``packet.size - len(payload)`` is constant, so ``size`` is elided
+  after the first packet.
+* **Segment delta state** — per flow, TCP ``seq``/``ack`` advance by
+  payload-sized steps, the advertised window barely moves, and most
+  segments are pure ACKs, so seq/ack are zigzag deltas against the
+  previous segment of the same flow, with meta-bits for "window
+  unchanged", "flags == ACK", and "empty payload".
+* **Arrival prefix compression** — consecutive arrivals in a stream
+  are nearby instants whose big-endian IEEE-754 images share 3-5
+  leading bytes; each arrival is a shared-prefix count plus the
+  differing tail, round-tripping the float exactly.
+* **Payload blob interning** — the same flyweight idea as the PR 1
+  interned wire codec: the first occurrence of a payload byte string is
+  sent raw and assigned the next table id, repeats are sent as a varint
+  reference.  BGP bursts fan identical UPDATE trains to several border
+  neighbours and retransmit identical segments under loss, so the
+  reference hit rate is what buys a large share of the >=3x byte
+  reduction over pickle.
+
+Packets that are not plain IPv4/TCP round-trip exactly through
+per-field or whole-pickle fallbacks, so arbitrary scenarios stay
+correct, just less compact.
+
+Stream state is kept consistent across dynamic shard migration by
+*epochs*: every section carries its source shard's migration
+generation, and a decoder that sees a new epoch resets that stream's
+state (the migrated shard's fresh encoder starts empty, and the
+adopting worker rebuilds its decoder state by replaying the recorded
+inbound history — see DESIGN.md §11).
+"""
+
+import pickle
+import struct
+
+from multiprocessing import shared_memory
+
+from repro.sim.engine import SimulationError
+from repro.sim.parallel.boundary import CrossShardFrame
+from repro.sim.network import Packet
+from repro.tcpsim.segment import Segment
+
+_F64 = struct.Struct(">d")
+
+#: interning policy: payload blobs shorter than this are always
+#: inlined, and a stream's tables stop growing at the limits (further
+#: new entries inline)
+INTERN_MIN_BYTES = 16
+INTERN_TABLE_LIMIT = 8192
+FLOW_TABLE_LIMIT = 4096
+
+#: default per-worker ring capacity (bytes)
+DEFAULT_RING_BYTES = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# varint / primitive helpers
+# ----------------------------------------------------------------------
+
+def _write_varint(out, value):
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data, offset):
+    result = 0
+    shift = 0
+    while True:
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _write_signed(out, value):
+    # zigzag: small magnitudes of either sign stay one byte
+    _write_varint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_signed(data, offset):
+    raw, offset = _read_varint(data, offset)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), offset
+
+
+def _write_str(out, text):
+    raw = text.encode("utf-8")
+    _write_varint(out, len(raw))
+    out += raw
+
+
+def _read_str(data, offset):
+    length, offset = _read_varint(data, offset)
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+def _ipv4_bytes(text):
+    """4 raw bytes for a dotted quad, or None when it is not one."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        return None
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        return None
+    if any(v < 0 or v > 255 for v in values) or any(
+        p != str(v) for p, v in zip(parts, values)
+    ):
+        return None
+    return bytes(values)
+
+
+def _ipv4_text(data, offset):
+    return ".".join(str(b) for b in data[offset:offset + 4]), offset + 4
+
+
+def _varint_ok(value):
+    return type(value) is int and value >= 0
+
+
+# ----------------------------------------------------------------------
+# per-stream codec state (one directed shard pair each)
+# ----------------------------------------------------------------------
+
+_BLOB_INLINE = 0   # varint len + raw, not added to the table
+_BLOB_NEW = 1      # varint len + raw, appended to the table
+_BLOB_REF = 2      # varint id into the table
+
+
+class _StreamEncoder:
+    """Sending-side state of one ``(src_shard, dst_shard)`` stream."""
+
+    __slots__ = ("blobs", "flows", "flow_state", "last_arrival",
+                 "last_frame_seq")
+
+    def __init__(self):
+        self.blobs = {}        # payload bytes -> table id
+        self.flows = {}        # 5-tuple -> flow id
+        # flow id -> [last_seq, last_ack, last_window, last_overhead]
+        self.flow_state = []
+        self.last_arrival = None    # big-endian f64 image of last arrival
+        self.last_frame_seq = None
+
+    def emit_blob(self, out, data):
+        if len(data) < INTERN_MIN_BYTES:
+            out.append(_BLOB_INLINE)
+            _write_varint(out, len(data))
+            out += data
+            return
+        ref = self.blobs.get(data)
+        if ref is not None:
+            out.append(_BLOB_REF)
+            _write_varint(out, ref)
+            return
+        if len(self.blobs) < INTERN_TABLE_LIMIT:
+            self.blobs[data] = len(self.blobs)
+            out.append(_BLOB_NEW)
+        else:
+            out.append(_BLOB_INLINE)
+        _write_varint(out, len(data))
+        out += data
+
+    def emit_arrival(self, out, arrival):
+        image = _F64.pack(arrival)
+        last = self.last_arrival
+        shared = 0
+        if last is not None:
+            while shared < 8 and image[shared] == last[shared]:
+                shared += 1
+        out.append(shared)
+        out += image[shared:]
+        self.last_arrival = image
+
+    def emit_frame_seq(self, out, seq):
+        if self.last_frame_seq is None:
+            _write_varint(out, seq)
+        else:
+            _write_signed(out, seq - self.last_frame_seq)
+        self.last_frame_seq = seq
+
+
+class _StreamDecoder:
+    """Receiving-side mirror of :class:`_StreamEncoder`."""
+
+    __slots__ = ("blobs", "flows", "flow_state", "last_arrival",
+                 "last_frame_seq")
+
+    def __init__(self):
+        self.blobs = []        # table id -> payload bytes
+        self.flows = []        # flow id -> 5-tuple
+        self.flow_state = []   # flow id -> [seq, ack, window, overhead]
+        self.last_arrival = None
+        self.last_frame_seq = None
+
+    def read_blob(self, data, offset):
+        mode = data[offset]
+        offset += 1
+        if mode == _BLOB_REF:
+            ref, offset = _read_varint(data, offset)
+            return self.blobs[ref], offset
+        length, offset = _read_varint(data, offset)
+        blob = bytes(data[offset:offset + length])
+        if mode == _BLOB_NEW:
+            self.blobs.append(blob)
+        return blob, offset + length
+
+    def read_arrival(self, data, offset):
+        shared = data[offset]
+        offset += 1
+        tail = bytes(data[offset:offset + 8 - shared])
+        image = (self.last_arrival[:shared] if shared else b"") + tail
+        self.last_arrival = image
+        return _F64.unpack(image)[0], offset + 8 - shared
+
+    def read_frame_seq(self, data, offset):
+        if self.last_frame_seq is None:
+            seq, offset = _read_varint(data, offset)
+        else:
+            delta, offset = _read_signed(data, offset)
+            seq = self.last_frame_seq + delta
+        self.last_frame_seq = seq
+        return seq, offset
+
+
+# ----------------------------------------------------------------------
+# the compact codec
+# ----------------------------------------------------------------------
+
+_BATCH_VERSION = 3
+
+# packet kind-byte layout
+_KIND_FLOW_REF = 0x01         # flow id in bits 5-7 (7 = varint escape)
+_KIND_SIZE_ELIDED = 0x02      # size = flow's framing overhead + payload len
+_KIND_PAYLOAD_SHIFT = 2
+_KIND_PAYLOAD_MASK = 0x03 << _KIND_PAYLOAD_SHIFT
+_PAYLOAD_NONE = 0
+_PAYLOAD_BYTES = 1
+_PAYLOAD_SEGMENT = 2
+_PAYLOAD_PICKLE = 3
+_KIND_PACKET_PICKLED = 0x10   # whole-packet pickle fallback
+_KIND_FLOW_SHIFT = 5
+_KIND_FLOW_INLINE_MAX = 6     # ids 0-6 ride the kind byte; 7 = escape
+
+# flow-definition byte
+_FLOWDEF_SRC_IPV4 = 0x01
+_FLOWDEF_DST_IPV4 = 0x02
+_FLOWDEF_NO_INTERN = 0x04     # table full: definition not assigned an id
+
+# segment meta byte
+_SEG_HAS_MSS = 0x01
+_SEG_SAME_WINDOW = 0x02
+_SEG_EMPTY_PAYLOAD = 0x04
+_SEG_FLAGS_ACK = 0x08         # flags == 0x10, flags byte elided
+
+_TCP_ACK = 0x10
+
+
+def _payload_length(tag, payload):
+    """Payload bytes counted by the flow's framing-overhead delta."""
+    if tag == _PAYLOAD_BYTES:
+        return len(payload)
+    if tag == _PAYLOAD_SEGMENT:
+        return len(payload.payload)
+    return 0  # NONE; PICKLE never elides size
+
+
+class FrameCodec:
+    """Compact stateful batch codec (one instance per worker process).
+
+    Encoder state is keyed by ``(src_shard, dst_shard)`` on the sending
+    side and mirrored on the receiving side; :meth:`set_epoch` and
+    :meth:`drop_shard` keep both ends consistent across dynamic shard
+    migration (the runtime calls them; see module docstring).
+    """
+
+    def __init__(self):
+        self._encoders = {}      # (src, dst) -> _StreamEncoder
+        self._decoders = {}      # (src, dst) -> _StreamDecoder
+        self._dec_epochs = {}    # (src, dst) -> last seen epoch
+        self._epochs = {}        # src -> epoch stamped on outgoing sections
+
+    # -- migration hooks ----------------------------------------------
+
+    def set_epoch(self, src_shard, epoch):
+        """Stamp ``src_shard``'s sections with ``epoch`` from now on."""
+        self._epochs[src_shard] = epoch
+
+    def drop_shard(self, shard_id):
+        """Forget the stream state this worker *owns* for ``shard_id``:
+        its outbound encoders ``(shard_id, *)`` and its inbound decoders
+        ``(*, shard_id)``.  Called on both sides of a migration — the
+        old owner discards dead streams, the new owner clears any stale
+        tenure before the replay rebuilds the inbound decoders.
+
+        Streams that merely *terminate* at the shard from other shards
+        on this worker — encoders keyed ``(other, shard_id)`` — are
+        deliberately preserved: the migrated shard's replayed decoder
+        was rebuilt from the full byte history of those streams and
+        expects them to continue, not restart.  (The reverse direction,
+        decoders keyed ``(shard_id, other)``, needs no care either way:
+        the adoption bumps the shard's epoch, which resets those
+        decoders on the next batch.)"""
+        for key in [k for k in self._encoders if k[0] == shard_id]:
+            del self._encoders[key]
+        for table in (self._decoders, self._dec_epochs):
+            for key in [k for k in table if k[1] == shard_id]:
+                del table[key]
+
+    # -- encode --------------------------------------------------------
+
+    def encode_batch(self, dst_shard, frames):
+        sections = {}
+        for frame in frames:
+            sections.setdefault(frame.src_shard, []).append(frame)
+        out = bytearray()
+        out.append(_BATCH_VERSION)
+        _write_varint(out, len(sections))
+        for src_shard, group in sections.items():
+            _write_str(out, src_shard)
+            _write_varint(out, self._epochs.get(src_shard, 0))
+            _write_varint(out, len(group))
+            stream = self._encoders.get((src_shard, dst_shard))
+            if stream is None:
+                stream = self._encoders[(src_shard, dst_shard)] \
+                    = _StreamEncoder()
+            for frame in group:
+                stream.emit_arrival(out, frame.arrival_time)
+                stream.emit_frame_seq(out, frame.seq)
+                self._encode_packet(out, frame.packet, stream)
+        return bytes(out)
+
+    def _encode_packet(self, out, packet, stream):
+        if type(packet) is not Packet or not (
+            _varint_ok(packet.sport) and _varint_ok(packet.dport)
+            and _varint_ok(packet.size)
+        ):
+            out.append(_KIND_PACKET_PICKLED)
+            stream.emit_blob(
+                out, pickle.dumps(packet, pickle.HIGHEST_PROTOCOL)
+            )
+            return
+        payload = packet.payload
+        if payload is None:
+            tag = _PAYLOAD_NONE
+        elif type(payload) is bytes:
+            tag = _PAYLOAD_BYTES
+        elif type(payload) is Segment and _varint_ok(payload.seq) \
+                and _varint_ok(payload.ack) and _varint_ok(payload.window) \
+                and (payload.mss is None or _varint_ok(payload.mss)) \
+                and type(payload.payload) is bytes:
+            tag = _PAYLOAD_SEGMENT
+        else:
+            tag = _PAYLOAD_PICKLE
+        kind = tag << _KIND_PAYLOAD_SHIFT
+        flow_key = (packet.src, packet.dst, packet.protocol,
+                    packet.sport, packet.dport)
+        flow_id = stream.flows.get(flow_key)
+        state = None
+        size_elided = False
+        if flow_id is not None:
+            kind |= _KIND_FLOW_REF
+            if flow_id <= _KIND_FLOW_INLINE_MAX:
+                kind |= flow_id << _KIND_FLOW_SHIFT
+            else:
+                kind |= 7 << _KIND_FLOW_SHIFT
+            state = stream.flow_state[flow_id]
+            if tag != _PAYLOAD_PICKLE:
+                overhead = packet.size - _payload_length(tag, payload)
+                if overhead == state[3]:
+                    kind |= _KIND_SIZE_ELIDED
+                    size_elided = True
+                else:
+                    state[3] = overhead
+        out.append(kind)
+        if flow_id is not None:
+            if flow_id > _KIND_FLOW_INLINE_MAX:
+                _write_varint(out, flow_id)
+        else:
+            state = self._encode_flow_def(out, flow_key, stream)
+            if state is not None and tag != _PAYLOAD_PICKLE:
+                state[3] = packet.size - _payload_length(tag, payload)
+        if not size_elided:
+            _write_varint(out, packet.size)
+        if tag == _PAYLOAD_BYTES:
+            stream.emit_blob(out, payload)
+        elif tag == _PAYLOAD_SEGMENT:
+            self._encode_segment(out, payload, stream, state)
+        elif tag == _PAYLOAD_PICKLE:
+            stream.emit_blob(
+                out, pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+            )
+
+    @staticmethod
+    def _encode_flow_def(out, flow_key, stream):
+        src, dst, protocol, sport, dport = flow_key
+        src4 = _ipv4_bytes(src)
+        dst4 = _ipv4_bytes(dst)
+        flowdef = 0
+        if src4 is not None:
+            flowdef |= _FLOWDEF_SRC_IPV4
+        if dst4 is not None:
+            flowdef |= _FLOWDEF_DST_IPV4
+        state = None
+        if len(stream.flows) >= FLOW_TABLE_LIMIT:
+            flowdef |= _FLOWDEF_NO_INTERN
+        else:
+            stream.flows[flow_key] = len(stream.flows)
+            state = [0, 0, None, None]
+            stream.flow_state.append(state)
+        out.append(flowdef)
+        if src4 is not None:
+            out += src4
+        else:
+            _write_str(out, src)
+        if dst4 is not None:
+            out += dst4
+        else:
+            _write_str(out, dst)
+        _write_str(out, protocol)
+        _write_varint(out, sport)
+        _write_varint(out, dport)
+        return state
+
+    @staticmethod
+    def _encode_segment(out, segment, stream, state):
+        if state is None:
+            state = [0, 0, None, None]
+        meta = 0
+        if segment.mss is not None:
+            meta |= _SEG_HAS_MSS
+        if segment.window == state[2]:
+            meta |= _SEG_SAME_WINDOW
+        if not segment.payload:
+            meta |= _SEG_EMPTY_PAYLOAD
+        if segment.flags == _TCP_ACK:
+            meta |= _SEG_FLAGS_ACK
+        out.append(meta)
+        # state[0] is the *predicted* next seq (previous seq + previous
+        # payload length): in-order segments delta to zero, pure ACKs
+        # repeat their seq exactly, and only retransmits pay full deltas
+        _write_signed(out, segment.seq - state[0])
+        _write_signed(out, segment.ack - state[1])
+        if not meta & _SEG_FLAGS_ACK:
+            out.append(segment.flags & 0xFF)
+        if not meta & _SEG_SAME_WINDOW:
+            _write_varint(out, segment.window)
+        if meta & _SEG_HAS_MSS:
+            _write_varint(out, segment.mss)
+        if not meta & _SEG_EMPTY_PAYLOAD:
+            stream.emit_blob(out, segment.payload)
+        state[0] = segment.seq + len(segment.payload)
+        state[1] = segment.ack
+        state[2] = segment.window
+
+    # -- decode --------------------------------------------------------
+
+    def decode_batch(self, data, dst_shard):
+        """Decode one batch.  ``dst_shard`` comes from the dispatch
+        routing (the coordinator keys every handle by destination), so
+        it is not repeated on the wire."""
+        if data[0] != _BATCH_VERSION:
+            raise SimulationError(
+                f"unknown frame-batch version {data[0]} (expected"
+                f" {_BATCH_VERSION})"
+            )
+        n_sections, offset = _read_varint(data, 1)
+        frames = []
+        for _ in range(n_sections):
+            src_shard, offset = _read_str(data, offset)
+            epoch, offset = _read_varint(data, offset)
+            n_frames, offset = _read_varint(data, offset)
+            key = (src_shard, dst_shard)
+            if self._dec_epochs.get(key) != epoch:
+                # the source shard migrated: its encoder restarted with
+                # empty tables, so the mirror resets too
+                self._dec_epochs[key] = epoch
+                self._decoders[key] = _StreamDecoder()
+            stream = self._decoders.get(key)
+            if stream is None:
+                stream = self._decoders[key] = _StreamDecoder()
+            for _ in range(n_frames):
+                arrival, offset = stream.read_arrival(data, offset)
+                seq, offset = stream.read_frame_seq(data, offset)
+                packet, offset = self._decode_packet(data, offset, stream)
+                frames.append(CrossShardFrame(
+                    dst_shard, arrival, src_shard, seq, packet
+                ))
+        return frames
+
+    def _decode_packet(self, data, offset, stream):
+        kind = data[offset]
+        offset += 1
+        if kind & _KIND_PACKET_PICKLED:
+            blob, offset = stream.read_blob(data, offset)
+            return pickle.loads(blob), offset
+        state = None
+        if kind & _KIND_FLOW_REF:
+            flow_id = kind >> _KIND_FLOW_SHIFT
+            if flow_id == 7:
+                flow_id, offset = _read_varint(data, offset)
+            src, dst, protocol, sport, dport = stream.flows[flow_id]
+            state = stream.flow_state[flow_id]
+        else:
+            state, flow_key, offset = self._decode_flow_def(
+                data, offset, stream
+            )
+            src, dst, protocol, sport, dport = flow_key
+        tag = (kind & _KIND_PAYLOAD_MASK) >> _KIND_PAYLOAD_SHIFT
+        size = None
+        if not kind & _KIND_SIZE_ELIDED:
+            size, offset = _read_varint(data, offset)
+        if tag == _PAYLOAD_NONE:
+            payload = None
+        elif tag == _PAYLOAD_BYTES:
+            payload, offset = stream.read_blob(data, offset)
+        elif tag == _PAYLOAD_SEGMENT:
+            payload, offset = self._decode_segment(data, offset, stream, state)
+        else:
+            blob, offset = stream.read_blob(data, offset)
+            payload = pickle.loads(blob)
+        if size is None:
+            size = state[3] + _payload_length(tag, payload)
+        elif state is not None and tag != _PAYLOAD_PICKLE:
+            state[3] = size - _payload_length(tag, payload)
+        return Packet(src, dst, protocol, sport, dport, payload, size), offset
+
+    @staticmethod
+    def _decode_flow_def(data, offset, stream):
+        flowdef = data[offset]
+        offset += 1
+        if flowdef & _FLOWDEF_SRC_IPV4:
+            src, offset = _ipv4_text(data, offset)
+        else:
+            src, offset = _read_str(data, offset)
+        if flowdef & _FLOWDEF_DST_IPV4:
+            dst, offset = _ipv4_text(data, offset)
+        else:
+            dst, offset = _read_str(data, offset)
+        protocol, offset = _read_str(data, offset)
+        sport, offset = _read_varint(data, offset)
+        dport, offset = _read_varint(data, offset)
+        flow_key = (src, dst, protocol, sport, dport)
+        if flowdef & _FLOWDEF_NO_INTERN:
+            state = None
+        else:
+            state = [0, 0, None, None]
+            stream.flows.append(flow_key)
+            stream.flow_state.append(state)
+        return state, flow_key, offset
+
+    @staticmethod
+    def _decode_segment(data, offset, stream, state):
+        if state is None:
+            state = [0, 0, None, None]
+        meta = data[offset]
+        offset += 1
+        seq_delta, offset = _read_signed(data, offset)
+        ack_delta, offset = _read_signed(data, offset)
+        seq = state[0] + seq_delta
+        ack = state[1] + ack_delta
+        if meta & _SEG_FLAGS_ACK:
+            flags = _TCP_ACK
+        else:
+            flags = data[offset]
+            offset += 1
+        if meta & _SEG_SAME_WINDOW:
+            window = state[2]
+        else:
+            window, offset = _read_varint(data, offset)
+        mss = None
+        if meta & _SEG_HAS_MSS:
+            mss, offset = _read_varint(data, offset)
+        if meta & _SEG_EMPTY_PAYLOAD:
+            payload = b""
+        else:
+            payload, offset = stream.read_blob(data, offset)
+        state[0] = seq + len(payload)
+        state[1] = ack
+        state[2] = window
+        return Segment(seq, ack, flags, window, payload, mss), offset
+
+
+class PickleCodec:
+    """The reference codec: one pickle blob per batch, no shared state."""
+
+    def encode_batch(self, dst_shard, frames):
+        return pickle.dumps(list(frames), pickle.HIGHEST_PROTOCOL)
+
+    def decode_batch(self, data, dst_shard=None):
+        return pickle.loads(data)
+
+    def set_epoch(self, src_shard, epoch):
+        pass
+
+    def drop_shard(self, shard_id):
+        pass
+
+
+# ----------------------------------------------------------------------
+# shared-memory rings
+# ----------------------------------------------------------------------
+
+def _attach_shm(name):
+    """Attach to an existing segment owned by the coordinator.
+
+    On Python < 3.13 attaching re-registers the segment with the
+    resource tracker (bpo-38119), but multiprocessing children share
+    the coordinator's tracker process, so the duplicate register is a
+    set no-op and the coordinator's ``unlink()`` removes the single
+    entry — no attach-side unregister needed (an explicit unregister
+    here would instead race the owner's and spam KeyError tracebacks
+    from the tracker).
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class ShmRing:
+    """A byte arena over one shared-memory segment, lock-step safe.
+
+    The single writer appends at a monotonically advancing cursor
+    (modulo capacity, splitting writes across the physical end — a
+    *wrap*).  There are no shared head/tail fields: the window barrier
+    protocol itself is the synchronization.  Data written during
+    barrier cycle ``k`` is referenced in the coordinator's dispatch of
+    window ``k+1`` and consumed by readers before they acknowledge that
+    window — and the writer only starts cycle ``k+2`` after every
+    ``k+1`` acknowledgement has been collected.  :meth:`rotate` is
+    called at each cycle start and frees everything older than the
+    previous cycle; :meth:`write` refuses (returns ``None``) when the
+    two live cycles would overrun capacity, which the transport turns
+    into an inline-on-pipe fallback rather than a stall.
+    """
+
+    def __init__(self, name=None, capacity=DEFAULT_RING_BYTES, create=False):
+        if create:
+            self.shm = shared_memory.SharedMemory(
+                name=name, create=True, size=capacity
+            )
+        else:
+            self.shm = _attach_shm(name)
+        self.capacity = capacity
+        self.name = self.shm.name
+        self._cursor = 0          # physical write position
+        self._cycle_bytes = 0     # written this cycle
+        self._prev_bytes = 0      # written last cycle (still live)
+        self.wraps = 0
+        self.overflows = 0
+
+    # -- writer side ---------------------------------------------------
+
+    def free_bytes(self):
+        return self.capacity - self._cycle_bytes - self._prev_bytes
+
+    def rotate(self):
+        """Start a new barrier cycle: data from two cycles ago is dead."""
+        self._prev_bytes = self._cycle_bytes
+        self._cycle_bytes = 0
+
+    def write(self, data):
+        """Append ``data``; returns ``(start, length)`` or ``None`` when
+        the live window of the ring cannot hold it (backpressure)."""
+        length = len(data)
+        if length > self.free_bytes():
+            self.overflows += 1
+            return None
+        start = self._cursor
+        end = start + length
+        if end <= self.capacity:
+            self.shm.buf[start:end] = data
+        else:
+            head = self.capacity - start
+            self.shm.buf[start:self.capacity] = data[:head]
+            self.shm.buf[0:length - head] = data[head:]
+            self.wraps += 1
+        self._cursor = end % self.capacity
+        self._cycle_bytes += length
+        return start, length
+
+    # -- reader side ---------------------------------------------------
+
+    def read(self, start, length):
+        end = start + length
+        if end <= self.capacity:
+            return bytes(self.shm.buf[start:end])
+        head = self.capacity - start
+        return bytes(self.shm.buf[start:self.capacity]) + bytes(
+            self.shm.buf[0:end - self.capacity]
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self):
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self):
+        try:
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# transport endpoints
+# ----------------------------------------------------------------------
+
+TRANSPORT_KINDS = ("shm", "pipe")
+
+_ring_counter = [0]
+
+
+def _ring_name(index):
+    import os
+
+    _ring_counter[0] += 1
+    return f"rppar-{os.getpid()}-{_ring_counter[0]}-w{index}"
+
+
+class WorkerTransportSpec:
+    """Picklable transport description handed to a spawned worker."""
+
+    __slots__ = ("kind", "index", "ring_names", "capacity")
+
+    def __init__(self, kind, index, ring_names=None, capacity=0):
+        self.kind = kind
+        self.index = index
+        self.ring_names = dict(ring_names or {})
+        self.capacity = capacity
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class WorkerTransport:
+    """The worker-process end of a transport: encode, stage, fetch.
+
+    ``stage(blob)`` places an encoded batch where the coordinator's
+    handle can reach it and returns the handle; ``fetch(handle)``
+    resolves a handle from any worker back into bytes.  The shm flavour
+    owns this worker's ring for writing and attaches to other workers'
+    rings lazily for reading; the pipe flavour is the identity (handles
+    *are* the bytes and ride the control pipe).
+    """
+
+    def __init__(self, spec):
+        self.kind = spec.kind
+        self.index = spec.index
+        self._spec = spec
+        self._readers = {}
+        if spec.kind == "shm":
+            self.codec = FrameCodec()
+            self._ring = ShmRing(
+                spec.ring_names[spec.index], capacity=spec.capacity
+            )
+        else:
+            self.codec = PickleCodec()
+            self._ring = None
+        self.inline_fallbacks = 0
+
+    def rotate(self):
+        if self._ring is not None:
+            self._ring.rotate()
+
+    def stage(self, blob):
+        if self._ring is None:
+            return blob
+        placed = self._ring.write(blob)
+        if placed is None:
+            self.inline_fallbacks += 1
+            return ("i", blob)
+        return ("r", self.index, placed[0], placed[1])
+
+    def fetch(self, handle):
+        if self._ring is None:
+            return handle
+        if handle[0] == "i":
+            return handle[1]
+        _tag, index, start, length = handle
+        if index == self.index:
+            return self._ring.read(start, length)
+        reader = self._readers.get(index)
+        if reader is None:
+            reader = self._readers[index] = ShmRing(
+                self._spec.ring_names[index], capacity=self._spec.capacity
+            )
+        return reader.read(start, length)
+
+    @property
+    def ring_wraps(self):
+        return self._ring.wraps if self._ring is not None else 0
+
+    def close(self):
+        if self._ring is not None:
+            self._ring.close()
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+
+def handle_bytes(handle):
+    """Encoded size of a staged batch handle, for transport accounting."""
+    if type(handle) is bytes:
+        return len(handle)
+    if handle[0] == "i":
+        return len(handle[1])
+    return handle[3]
+
+
+class TransportContext:
+    """The coordinator end: owns the rings, mints worker specs.
+
+    ``fetch(handle)`` resolves any handle into bytes (used to retain
+    per-shard inbound history when dynamic rebalancing is enabled) —
+    safe at dispatch time because handles are only resolved while their
+    ring cycle is live.  ``close()`` unlinks every segment; it runs on
+    the coordinator's cleanup path even when a worker died mid-window,
+    so no ``/dev/shm`` entries outlive the run.
+    """
+
+    def __init__(self, kind, worker_count, capacity=DEFAULT_RING_BYTES):
+        if kind not in TRANSPORT_KINDS:
+            raise SimulationError(
+                f"unknown transport {kind!r} (expected one of"
+                f" {TRANSPORT_KINDS})"
+            )
+        self.kind = kind
+        self.capacity = capacity
+        self._rings = {}
+        self._ring_names = {}
+        if kind == "shm":
+            try:
+                for index in range(worker_count):
+                    ring = ShmRing(
+                        _ring_name(index), capacity=capacity, create=True
+                    )
+                    self._rings[index] = ring
+                    self._ring_names[index] = ring.name
+            except OSError:
+                # no usable shared memory on this host: degrade to the
+                # reference transport instead of failing the run
+                for ring in self._rings.values():
+                    ring.close()
+                    ring.unlink()
+                self._rings.clear()
+                self._ring_names.clear()
+                self.kind = "pipe"
+
+    def worker_spec(self, index):
+        return WorkerTransportSpec(
+            self.kind, index, self._ring_names, self.capacity
+        )
+
+    def fetch(self, handle):
+        if self.kind == "pipe":
+            return handle
+        if handle[0] == "i":
+            return handle[1]
+        _tag, index, start, length = handle
+        return self._rings[index].read(start, length)
+
+    def close(self):
+        for ring in self._rings.values():
+            ring.close()
+            ring.unlink()
+        self._rings.clear()

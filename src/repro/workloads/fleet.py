@@ -37,7 +37,10 @@ WAN_BANDWIDTH = 10e9
 #: border's next timer instead of the site's next millisecond tick.
 BORDER_SCOPE = "wan-border"
 
-#: virtual-time schedule inside every site
+#: virtual-time schedule inside every site (overridable per spec via
+#: the ``routes_at``/``border_at``/``churn_at`` params — the 1000-
+#: container configuration compresses the timeline so the benchmark
+#: spends its wall-clock on load, not on idle warm-up)
 ROUTES_AT = 12.0
 BORDER_AT = 15.0
 CHURN_AT = 18.0
@@ -67,28 +70,32 @@ class FleetSiteProgram:
         site = params["site"]
         sites = params["sites"]
         pairs = params.get("pairs", 4)
+        machine_count = params.get("machines", 2)
         routes = params.get("routes", 50)
         border_routes = params.get("border_routes", 20)
         churn_ticks = params.get("churn_ticks", 4)
         churn_interval = params.get("churn_interval", 5.0)
         seed = params.get("seed", 0)
         tracing = params.get("tracing", False)
+        routes_at = params.get("routes_at", ROUTES_AT)
+        border_at = params.get("border_at", BORDER_AT)
+        churn_at = params.get("churn_at", CHURN_AT)
 
         self.site = site
         self.system = TensorSystem(seed=seed * 1009 + site, tracing=tracing)
         self.engine = self.system.engine
         engine = self.engine
         machines = [
-            self.system.add_machine(f"s{site}-gw-1", "10.1.0.1"),
-            self.system.add_machine(f"s{site}-gw-2", "10.2.0.1"),
+            self.system.add_machine(f"s{site}-gw-{m + 1}", f"10.{m + 1}.0.1")
+            for m in range(max(2, machine_count))
         ]
         rand = DeterministicRandom(seed * 7919 + site)
         self.remotes = []
         for i in range(pairs):
             pair = self.system.create_pair(
                 f"s{site}p{i}",
-                machines[i % 2],
-                machines[(i + 1) % 2],
+                machines[i % len(machines)],
+                machines[(i + 1) % len(machines)],
                 service_addr=f"10.10.{i}.1",
                 local_as=65001,
                 router_id=f"10.10.{i}.1",
@@ -118,11 +125,11 @@ class FleetSiteProgram:
             self._churn_sets.append(gen.routes(
                 max(1, routes // 4), base=f"10.{64 + i}.0.0"
             ))
-        engine.schedule(ROUTES_AT, self._originate_initial)
+        engine.schedule(routes_at, self._originate_initial)
         self._churn_ticks = churn_ticks
         self._churn_interval = churn_interval
         if churn_ticks:
-            engine.schedule(CHURN_AT, self._churn, 0)
+            engine.schedule(churn_at, self._churn, 0)
 
         # the border router: one eBGP speaker facing the neighbouring
         # sites.  Everything that can cause a WAN (cross-shard) send is
@@ -156,7 +163,7 @@ class FleetSiteProgram:
                 "wan",
                 border_gen.routes(border_routes, base=f"10.{128 + site}.0.0")
             )
-            engine.schedule(BORDER_AT, self.border.start)
+            engine.schedule(border_at, self.border.start)
 
         # WAN edges exist as stub-host links from here on; every border
         # packet to a neighbour is exported at a window barrier.
@@ -220,12 +227,16 @@ def build_fleet_site(shard_id, params, boundary):
 
 
 def fleet_site_specs(sites, pairs=4, routes=50, border_routes=20, seed=0,
-                     churn_ticks=4, churn_interval=5.0, tracing=False):
+                     churn_ticks=4, churn_interval=5.0, tracing=False,
+                     machines=2, routes_at=ROUTES_AT, border_at=BORDER_AT,
+                     churn_at=CHURN_AT):
     """ShardSpecs for a ``sites``-site fleet on a WAN ring.
 
-    Total container count is ``sites * (pairs * 2 + pairs)`` active
-    containers plus backups; weight is the pair count, which is what the
-    LPT partitioner balances across workers.
+    Each site runs ``pairs * 2`` containers (active + backup per pair)
+    spread over ``machines`` gateway machines; weight is the pair
+    count, which is what the LPT partitioner balances across workers.
+    ``routes_at``/``border_at``/``churn_at`` shift the in-site schedule
+    (route origination, border bring-up, churn start).
     """
     specs = []
     for site in range(sites):
@@ -246,14 +257,39 @@ def fleet_site_specs(sites, pairs=4, routes=50, border_routes=20, seed=0,
                 "site": site,
                 "sites": sites,
                 "pairs": pairs,
+                "machines": machines,
                 "routes": routes,
                 "border_routes": border_routes,
                 "seed": seed,
                 "churn_ticks": churn_ticks,
                 "churn_interval": churn_interval,
                 "tracing": tracing,
+                "routes_at": routes_at,
+                "border_at": border_at,
+                "churn_at": churn_at,
             },
             links=links,
             weight=float(pairs),
         ))
     return specs
+
+
+#: the 1000-container configuration: 16 sites x 32 pairs x 2 containers
+#: = 1024 containers on a compressed schedule, benchmarked by
+#: ``benchmarks/bench_parallel_fleet.py`` (run for FLEET_1K_DURATION).
+FLEET_1K_DURATION = 8.0
+
+
+def fleet_1k_specs(seed=0, tracing=False):
+    """ShardSpecs for the 1024-container fleet row of BENCH_parallel.
+
+    Route counts are trimmed per pair (the point is container/session
+    scale, not table depth) and the site schedule is compressed so the
+    run reaches origination, border convergence, and churn within
+    ``FLEET_1K_DURATION`` virtual seconds.
+    """
+    return fleet_site_specs(
+        16, pairs=32, machines=8, routes=12, border_routes=8, seed=seed,
+        churn_ticks=2, churn_interval=2.0, tracing=tracing,
+        routes_at=3.0, border_at=4.0, churn_at=6.0,
+    )

@@ -1,0 +1,173 @@
+"""Dynamic shard rebalancing: policy unit tests and bit-identity.
+
+The migration machinery's core claim (DESIGN.md §11): shard placement
+never affects simulation results, so moving a live shard between
+workers mid-run — replay-based adoption, epoch-bumped codec streams —
+leaves fleet Loc-RIB digests, chaos oracle verdicts, and trace phase
+summaries bit-identical to the static-partition run.  ``force_moves``
+drives migrations deterministically even on balanced workloads.
+"""
+
+import functools
+
+import pytest
+
+from repro.failures.chaos import (
+    chaos_corpus_horizon,
+    chaos_corpus_specs,
+    generate_schedule,
+    run_schedule,
+)
+from repro.sim.parallel import (
+    ParallelRunner,
+    RebalanceConfig,
+    rebalance_moves,
+)
+from repro.workloads.fleet import fleet_site_specs
+
+pytestmark = pytest.mark.slow
+
+
+# ----------------------------------------------------------------------
+# the policy: a pure function of busy stats and assignment
+# ----------------------------------------------------------------------
+
+def test_rebalance_moves_noop_when_balanced():
+    busy = {"a": 1.0, "b": 1.0}
+    assert rebalance_moves(busy, {"a": 0, "b": 1}, 2) == []
+
+
+def test_rebalance_moves_needs_two_workers():
+    assert rebalance_moves({"a": 9.0, "b": 1.0}, {"a": 0, "b": 0}, 1) == []
+
+
+def test_rebalance_moves_offloads_the_straggler():
+    busy = {"a": 4.0, "b": 3.9, "c": 0.1}
+    moves = rebalance_moves(busy, {"a": 0, "b": 0, "c": 1}, 2)
+    # the heaviest shard whose move improves the makespan goes first:
+    # moving a shrinks it from 7.9 to 4.1
+    assert moves == [("a", 1)]
+
+
+def test_rebalance_moves_never_strips_a_workers_last_shard():
+    busy = {"a": 10.0, "b": 1.0}
+    assert rebalance_moves(busy, {"a": 0, "b": 1}, 2) == []
+
+
+def test_rebalance_moves_respects_min_gain():
+    busy = {"a": 2.0, "b": 1.9, "c": 1.8}
+    assignment = {"a": 0, "b": 0, "c": 1}
+    assert rebalance_moves(busy, assignment, 2, min_gain=0.9) == []
+    assert rebalance_moves(busy, assignment, 2, min_gain=0.05) \
+        == [("b", 1)]
+
+
+def test_rebalance_moves_is_deterministic():
+    busy = {f"s{i}": float(i % 5) + 0.25 for i in range(12)}
+    assignment = {f"s{i}": i % 3 for i in range(12)}
+    first = rebalance_moves(busy, assignment, 3, max_moves=3)
+    second = rebalance_moves(dict(reversed(busy.items())),
+                             dict(reversed(assignment.items())), 3,
+                             max_moves=3)
+    assert first == second
+    assert len(first) >= 1
+
+
+# ----------------------------------------------------------------------
+# fleet: migrating a site mid-run is invisible in the results
+# ----------------------------------------------------------------------
+
+FLEET_KW = dict(pairs=2, routes=20, border_routes=10, seed=3,
+                churn_ticks=2, churn_interval=2.0, tracing=True)
+FLEET_DURATION = 22.0
+
+#: min_gain=0.9 disarms the measured-busy policy so the only moves are
+#: the forced ones — the run stays reproducible wall-clock noise or not
+FORCED = RebalanceConfig(every=4, min_gain=0.9,
+                         force_moves={4: [("site0", 1)]})
+
+
+@functools.lru_cache(maxsize=None)
+def fleet_static():
+    specs = fleet_site_specs(2, **FLEET_KW)
+    return ParallelRunner(specs, workers=1).run(FLEET_DURATION)
+
+
+@functools.lru_cache(maxsize=None)
+def fleet_migrated():
+    specs = fleet_site_specs(2, **FLEET_KW)
+    return ParallelRunner(specs, workers=2, rebalance=FORCED).run(
+        FLEET_DURATION
+    )
+
+
+def test_forced_migration_actually_happened():
+    result = fleet_migrated()
+    assert (4, "site0", 0, 1) in result.migrations
+
+
+def test_migrated_fleet_results_bit_identical_to_static_run():
+    static, migrated = fleet_static(), fleet_migrated()
+    assert static.shard_results == migrated.shard_results
+    assert static.window_edges == migrated.window_edges
+    assert static.executed == migrated.executed
+
+
+def test_migrated_fleet_loc_ribs_and_phases_converged():
+    migrated = fleet_migrated()
+    for site_result in migrated.shard_results.values():
+        assert site_result["border_established"] >= 1
+        assert site_result["rib"]
+        assert all(site_result["rib"].values())
+        assert site_result["phase_summary"]
+    assert migrated.timing["rebalance_s"] > 0.0
+
+
+def test_migration_works_on_both_transports():
+    specs = fleet_site_specs(2, **FLEET_KW)
+    pipe = ParallelRunner(specs, workers=2, transport="pipe",
+                          rebalance=FORCED).run(FLEET_DURATION)
+    assert pipe.shard_results == fleet_static().shard_results
+    assert (4, "site0", 0, 1) in pipe.migrations
+
+
+# ----------------------------------------------------------------------
+# chaos corpus: closed shards migrate too (horizon_cap makes barriers)
+# ----------------------------------------------------------------------
+
+CHAOS_SEEDS = (0, 1, 2, 12)
+
+
+@functools.lru_cache(maxsize=None)
+def chaos_migrated():
+    specs = chaos_corpus_specs(CHAOS_SEEDS)
+    horizon = chaos_corpus_horizon(CHAOS_SEEDS)
+    # closed shards have no lookahead bound: without a cap the run is
+    # one giant window and rebalancing never gets a barrier to act at
+    return ParallelRunner(
+        specs, workers=2, horizon_cap=horizon / 8,
+        rebalance=RebalanceConfig(every=2, min_gain=0.9,
+                                  force_moves={2: [("chaos0", 1)]}),
+    ).run(horizon)
+
+
+def test_chaos_verdicts_survive_migration():
+    migrated = chaos_migrated()
+    assert ("chaos0" in [m[1] for m in migrated.migrations])
+    for seed in CHAOS_SEEDS:
+        plain = run_schedule(generate_schedule(seed))
+        shard = migrated.shard_results[f"chaos{seed}"]
+        assert shard["verdict"] == plain.summary()
+        assert shard["verdict"] == "all oracles passed"
+        assert shard["executed"] == plain.events_executed
+        assert shard["rib"] == plain.system.rib_digest()
+
+
+def test_horizon_cap_validation():
+    from repro.sim.engine import SimulationError
+
+    specs = chaos_corpus_specs((0,))
+    with pytest.raises(SimulationError, match="horizon_cap"):
+        ParallelRunner(specs, workers=1, horizon_cap=0.0)
+    with pytest.raises(SimulationError, match="every"):
+        RebalanceConfig(every=0)

@@ -275,9 +275,13 @@ def test_result_accounting_and_projection():
     assert result.timing["wall_s"] == result.wall
     for key in ("serialize_s", "barrier_send_s", "barrier_wait_s"):
         assert result.timing[key] >= 0.0
-    # in-process transport never pickles: frames counted, zero blob bytes
+    # in-process transport never pickles: frames counted, zero blob
+    # bytes — and the explicit marker says the zero means "no encoding
+    # happened", not "encoding was free"
     assert result.transport["frames"] > 0
     assert result.transport["bytes"] == 0
+    assert result.transport["kind"] == "in_process"
+    assert result.transport["in_process"] is True
 
 
 def test_projection_workers_override():
@@ -294,6 +298,8 @@ def test_process_mode_matches_local_mode():
     spawned = ParallelRunner(ping_specs(), workers=2).run(1.0)
     assert spawned.workers == 2
     assert local.shard_results == spawned.shard_results
+    assert spawned.transport["in_process"] is False
+    assert spawned.transport["bytes"] > 0
 
 
 def test_local_mode_propagates_builder_errors():
