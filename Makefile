@@ -8,7 +8,7 @@ SEEDS ?= 25
 FUZZ_SEED ?= 0
 FUZZ_ITERATIONS ?= 10
 
-.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-fulltable bench-gate fulltable-smoke profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation fuzz fuzz-corpus fuzz-smoke trace-demo verify
+.PHONY: test bench bench-hotpath bench-parallel bench-failover bench-fulltable bench-gate fulltable-smoke profile profile-parallel parallel-smoke kv-failover chaos chaos-corpus chaos-ablation controller-chaos fuzz fuzz-corpus fuzz-smoke trace-demo verify
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -79,6 +79,12 @@ chaos-corpus:
 chaos-ablation:
 	$(PYTHON) -m repro.failures.chaos --ablation
 
+# Controller-plane chaos (DESIGN.md §15): a 3-replica panel under
+# replica crashes, controller<->machine partitions and lying monitors;
+# the wrong_failover oracle asserts no fence/promote hit a healthy node.
+controller-chaos:
+	$(PYTHON) -m repro.failures.chaos --controller-corpus
+
 # Coverage-guided config/topology fuzzing (DESIGN.md §13): mutate
 # config + topology + failure schedule together; novel coverage keys
 # keep specs in the corpus, violations shrink across schedule *and*
@@ -104,7 +110,7 @@ trace-demo:
 	$(PYTHON) -m repro.trace.demo
 
 # The full gate: tier-1 tests, perf regression (hot path, parallel,
-# failover drain), chaos corpus, the parallel determinism smoke, the
-# database failover smoke, the bounded fuzz smoke, and the full-table
-# scaling smoke.
-verify: test bench-gate chaos-corpus parallel-smoke kv-failover fuzz-smoke fulltable-smoke
+# failover drain), chaos corpus, controller-plane chaos, the parallel
+# determinism smoke, the database failover smoke, the bounded fuzz
+# smoke, and the full-table scaling smoke.
+verify: test bench-gate chaos-corpus controller-chaos parallel-smoke kv-failover fuzz-smoke fulltable-smoke

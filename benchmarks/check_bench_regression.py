@@ -31,7 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # Fuzzer/chaos repro scripts are working-tree artifacts (gitignored),
 # not benchmark inputs: the gate must never collect or gate on them,
 # wherever a campaign's --out dropped them.
-ARTIFACT_GLOBS = ("fuzz_repro_*.py", "chaos_repro_*.py")
+ARTIFACT_GLOBS = ("fuzz_repro_*.py", "chaos_repro_*.py", "panel_repro_*.py")
 
 
 def ignored_artifacts():

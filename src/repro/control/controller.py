@@ -10,9 +10,18 @@ a small interface:
 
 - ``name``
 - ``primary_machine_name`` / ``backup_machine_name``
-- ``primary_container_name``
+- ``primary_container_name`` / ``backup_container_name``
 - ``restart_application(record, on_done)``   (E1: reboot in place)
 - ``activate_backup(record, on_done, cold)`` (E2/E4/E3/E5: NSR migration)
+- ``refresh_standby()``                      (replace a dead backup)
+
+The recovery *policy* lives in :class:`RecoveryActions`, shared verbatim
+with the replicated :class:`~repro.control.panel.ControllerPanel`
+(DESIGN.md §15): the panel substitutes quorum-gated report intake and
+epoch-stamped execution via the small hook methods at the top of the
+mixin, while the single-controller deployment keeps every hook at its
+no-op default — which is what keeps a panel-of-1 bit-identical to this
+class.
 """
 
 from repro.control.channels import GrpcChannel, HealthServer, next_grpc_port
@@ -21,14 +30,329 @@ from repro.control.detector import FailureDetector
 from repro.control.fencing import FencingRegistry
 from repro.control.migration import MigrationRecord
 from repro.sim.calibration import (
+    CONFIG_LOAD_TIME_PER_ENTRY,
     CONTROLLER_DECISION_TIME,
     CONTROLLER_DECISION_TIME_MACHINE,
     HOST_MIGRATION_STAGGER,
+    RECOVERY_DEADLINE,
 )
 from repro.sim.process import Process
 
 
-class Controller:
+class RecoveryActions:
+    """Shared recovery policy: classify → decide → drive → bound.
+
+    Subclasses provide ``engine``, ``process``, ``fencing``, ``machines``,
+    ``pairs``, ``records``, ``events``, ``_recovering``,
+    ``_active_recovery`` and ``abandoned_records``.
+    """
+
+    # -- replication hooks (panel overrides; defaults = single controller)
+
+    def _action_epoch(self):
+        """Leadership epoch stamped on recovery actions (None = unfenced)."""
+        return None
+
+    def _action_still_valid(self, epoch):
+        """Recheck a decision at execution time (panel: am I still leader?)."""
+        return True
+
+    def _rearm_target(self, name):
+        self.detector.rearm_target(name)
+
+    def _reset_target(self, name):
+        self.detector.reset_target(name)
+
+    def _pair_recovered(self, pair):
+        """Called after a pair's recovery closes (panel: reset quorum)."""
+
+    @staticmethod
+    def _pair_call(fn, *args, epoch=None, **kwargs):
+        # Pairs (and test stubs) predating the epoch fence take no
+        # ``epoch`` kwarg; only stamp the call when there is a stamp.
+        if epoch is None:
+            return fn(*args, **kwargs)
+        return fn(*args, epoch=epoch, **kwargs)
+
+    # ------------------------------------------------------------------
+    # failure handling (§3.3.3)
+    # ------------------------------------------------------------------
+
+    def _handle_container_level_failure(self, report):
+        pair, role = self._pair_of_container(report.target_name)
+        if pair is None:
+            return
+        if role == "standby":
+            self._handle_backup_failure(pair, report)
+            return
+        if pair.name in self._recovering:
+            return
+        self._recovering.add(pair.name)
+        record = MigrationRecord(report.kind, report.target_name)
+        record.detected_at = report.confirmed_at
+        self.records.append(record)
+        self._active_recovery[pair.name] = record
+        epoch = self._action_epoch()
+        self.process.after(
+            CONTROLLER_DECISION_TIME, self._initiate_container_recovery,
+            pair, record, report, epoch,
+        )
+        self.process.after(
+            self._recovery_deadline_for(pair),
+            self._check_recovery_deadline, pair, record,
+        )
+
+    def _initiate_container_recovery(self, pair, record, report, epoch=None):
+        if not self._action_still_valid(epoch):
+            self._action_rejected(pair, record, report.kind, "leader-superseded")
+            return
+        record.initiated_at = self.engine.now
+        done = lambda: self._recovery_done(pair, record)
+        if report.kind == "application":
+            record.note("in-place application restart")
+            ok = self._pair_call(pair.restart_application, record, done,
+                                 epoch=epoch)
+            if ok is False:
+                self._action_rejected(pair, record, report.kind, "stale-epoch")
+        else:
+            if report.kind == "container_network":
+                # "the controller will kill the primary container through
+                #  TKE while starting the BGP NSR migration"
+                record.note("killing primary container via TKE")
+                ok = self._pair_call(pair.kill_primary_container, epoch=epoch)
+                if ok is False:
+                    self._action_rejected(pair, record, report.kind,
+                                          "stale-epoch")
+                    return
+            record.note("NSR migration to backup container")
+            ok = self._pair_call(pair.activate_backup, record, done,
+                                 cold=False, epoch=epoch)
+            if ok is False:
+                self._action_rejected(pair, record, report.kind, "stale-epoch")
+
+    def _handle_backup_failure(self, pair, report):
+        """A *standby* container failed: the pair lost its insurance.
+
+        Before this path existed the report was silently dropped
+        (``_pair_of_container`` only matched the primary) and a later
+        primary failure migrated onto a corpse.
+        """
+        now = self.engine.now
+        if pair.name in self._recovering:
+            # the in-flight migration's target just died; the recovery
+            # deadline will abandon it and re-arm detection
+            self.events.append((now, "backup-failed-during-recovery",
+                                (pair.name, report.target_name)))
+            return
+        if report.kind == "container_network":
+            # The E2-vs-E4 classifier saw the standby still running —
+            # only its probes failed (typically the tail of a healed
+            # transient blip).  Visibility only; don't churn the standby.
+            self.events.append((now, "backup-unreachable",
+                                (pair.name, report.target_name)))
+            return
+        if getattr(pair, "backup_degraded", False):
+            return
+        pair.backup_degraded = True
+        self.events.append((now, "backup-degraded",
+                            (pair.name, report.target_name)))
+        self.process.after(
+            CONTROLLER_DECISION_TIME, self._refresh_standby,
+            pair, report.target_name, self._action_epoch(),
+        )
+
+    def _refresh_standby(self, pair, dead_container_name, epoch):
+        if not self._action_still_valid(epoch):
+            self.events.append(
+                (self.engine.now, "action-rejected",
+                 (pair.name, "refresh_standby", "leader-superseded"))
+            )
+            return
+        if pair.name in self._recovering:
+            return  # a primary failure raced in; the migration owns the pair
+        refresh = getattr(pair, "refresh_standby", None)
+        if refresh is None:
+            return
+        ok = self._pair_call(refresh, epoch=epoch)
+        if ok is False:
+            self.events.append(
+                (self.engine.now, "action-rejected",
+                 (pair.name, "refresh_standby", "stale-epoch"))
+            )
+            return
+        if ok:
+            self.events.append(
+                (self.engine.now, "backup-refreshed",
+                 (pair.name, pair.backup_container_name))
+            )
+            self._reset_target(dead_container_name)
+
+    def _handle_machine_failure(self, report):
+        machine_name = report.target_name
+        epoch = self._action_epoch()
+        # Fencing first: the machine must never answer for service
+        # addresses again until manually reset (split-brain guard).
+        ok = self.fencing.fence(machine_name, epoch=epoch)
+        if ok is False:
+            self.events.append(
+                (self.engine.now, "action-rejected",
+                 (machine_name, "fence", "stale-epoch"))
+            )
+            return
+        affected = [
+            pair
+            for pair in self.pairs.values()
+            if pair.primary_machine_name == machine_name
+            and pair.name not in self._recovering
+        ]
+        self.events.append(
+            (self.engine.now, "machine-migration", (machine_name, len(affected)))
+        )
+        for index, pair in enumerate(affected):
+            self._recovering.add(pair.name)
+            record = MigrationRecord("machine", pair.primary_container_name)
+            record.detected_at = report.confirmed_at
+            self.records.append(record)
+            self._active_recovery[pair.name] = record
+            delay = CONTROLLER_DECISION_TIME_MACHINE + index * HOST_MIGRATION_STAGGER
+            self.process.after(
+                delay, self._initiate_machine_recovery, pair, record, epoch
+            )
+            self.process.after(
+                delay + self._recovery_deadline_for(pair),
+                self._check_recovery_deadline, pair, record,
+            )
+
+    def _initiate_machine_recovery(self, pair, record, epoch=None):
+        if not self._action_still_valid(epoch):
+            self._action_rejected(pair, record, "machine", "leader-superseded")
+            return
+        record.initiated_at = self.engine.now
+        record.note("mass NSR migration after machine failure")
+        ok = self._pair_call(
+            pair.activate_backup, record,
+            lambda: self._recovery_done(pair, record), cold=True, epoch=epoch,
+        )
+        if ok is False:
+            self._action_rejected(pair, record, "machine", "stale-epoch")
+
+    def _recovery_done(self, pair, record):
+        if getattr(record, "abandoned", False):
+            # the deadline already gave up on this migration; the pair's
+            # state was re-armed, so only note the straggler completion
+            record.note("late completion after abandonment")
+            self.events.append(
+                (self.engine.now, "recovery-late-completion", pair.name)
+            )
+            return
+        if record.recovered_at is None:
+            record.recovered_at = self.engine.now
+        self._recovering.discard(pair.name)
+        self._active_recovery.pop(pair.name, None)
+        self.events.append((self.engine.now, "recovery-done", pair.name))
+        self._pair_recovered(pair)
+
+    # ------------------------------------------------------------------
+    # recovery deadline: bound every migration, never leak ``_recovering``
+    # ------------------------------------------------------------------
+
+    def _recovery_deadline_for(self, pair):
+        """Deadline budget, scaled by the pair's config size.
+
+        ``RECOVERY_DEADLINE`` covers detection → decision → boot → TCP
+        repair with generous slack; the per-entry term covers config
+        load on full-table pairs, where a legitimate cold boot takes
+        minutes — those must not be falsely abandoned.
+        """
+        entries = getattr(pair, "config_entries", 0) or 0
+        return RECOVERY_DEADLINE + CONFIG_LOAD_TIME_PER_ENTRY * entries
+
+    def _check_recovery_deadline(self, pair, record):
+        if record.recovered_at is not None:
+            return
+        if self._active_recovery.get(pair.name) is not record:
+            return  # closed out or superseded meanwhile
+        record.abandoned = True
+        record.note("recovery abandoned: deadline expired")
+        self.abandoned_records.append(record)
+        self._recovering.discard(pair.name)
+        self._active_recovery.pop(pair.name, None)
+        self.events.append(
+            (self.engine.now, "recovery-abandoned",
+             (pair.name, record.failure_kind))
+        )
+        self._rearm_pair_detection(pair)
+        self._pair_recovered(pair)
+
+    def _rearm_pair_detection(self, pair):
+        """Clear every report latch so a stuck pair can be re-detected.
+
+        The feeds are edge-triggered: without re-arming, a pair whose
+        migration died mid-flight (promotee killed) is invisible forever
+        — its failure was already "reported" at every layer.
+        """
+        for machine_name in (pair.primary_machine_name,
+                             pair.backup_machine_name):
+            machine = self.machines.get(machine_name)
+            if machine is not None and getattr(machine, "monitor", None) is not None:
+                machine.monitor.clear_reported()
+            self._rearm_target(machine_name)
+        supervisor = getattr(pair, "supervisor", None)
+        if supervisor is not None:
+            supervisor._reported = False
+        self._rearm_target(pair.primary_container_name)
+        backup_name = getattr(pair, "backup_container_name", None)
+        if backup_name is not None:
+            self._rearm_target(backup_name)
+
+    def _action_rejected(self, pair, record, kind, reason):
+        """An epoch-fenced receiver (or a validity recheck) refused us."""
+        record.abandoned = True
+        record.note(f"action rejected: {reason}")
+        self._recovering.discard(pair.name)
+        if self._active_recovery.get(pair.name) is record:
+            self._active_recovery.pop(pair.name, None)
+        self.events.append(
+            (self.engine.now, "action-rejected", (pair.name, kind, reason))
+        )
+        self._rearm_pair_detection(pair)
+        self._pair_recovered(pair)
+
+    def _pair_of_container(self, container_name):
+        """Map a container to ``(pair, role)``; role is active|standby."""
+        for pair in self.pairs.values():
+            if pair.primary_container_name == container_name:
+                return pair, "active"
+            if getattr(pair, "backup_container_name", None) == container_name:
+                return pair, "standby"
+        return None, None
+
+    # ------------------------------------------------------------------
+
+    def manual_reset_machine(self, machine_name):
+        """Operator unfences a repaired machine (§3.3.3).
+
+        The reset is a reimage: every container that was running when the
+        machine was fenced is stopped first.  Without this, a zombie BGP
+        process from before the failure would come back online with the
+        machine and fight the migrated active — the exact split-brain the
+        fencing rule exists to prevent.
+        """
+        machine = self.machines.get(machine_name)
+        if machine is not None:
+            for container in machine.containers.values():
+                if container.running:
+                    container.stop()
+            if machine.monitor is not None:
+                machine.monitor.clear_reported()
+        self.fencing.manual_reset(machine_name)
+        self._reset_target(machine_name)
+
+    def completed_records(self):
+        return [r for r in self.records if r.complete]
+
+
+class Controller(RecoveryActions):
     """The cluster controller."""
 
     def __init__(self, engine, host, fencing=None):
@@ -45,6 +369,8 @@ class Controller:
         self.records = []
         self.events = []
         self._recovering = set()
+        self._active_recovery = {}  # pair name -> in-flight MigrationRecord
+        self.abandoned_records = []
         self.failure_hooks = []  # fn(report) observers (tests/benchmarks)
         self.db_monitor = None
 
@@ -138,9 +464,13 @@ class Controller:
                 container.name, detail, container.machine.name
             )
 
-    # ------------------------------------------------------------------
-    # failure handling (§3.3.3)
-    # ------------------------------------------------------------------
+    def peer_ipsla_report(self, origin_machine_name, target_name, reachable):
+        """Inter-machine IP SLA verdict about ``target_name``.
+
+        The single controller trusts every origin; the panel gates this
+        on which replicas can currently reach the *origin* machine.
+        """
+        self.detector.note_machine_peer_ipsla(target_name, reachable)
 
     def _on_failure(self, report):
         self.events.append((self.engine.now, "failure-report", report))
@@ -150,100 +480,6 @@ class Controller:
             self._handle_machine_failure(report)
         else:
             self._handle_container_level_failure(report)
-
-    def _handle_container_level_failure(self, report):
-        pair = self._pair_of_container(report.target_name)
-        if pair is None or pair.name in self._recovering:
-            return
-        self._recovering.add(pair.name)
-        record = MigrationRecord(report.kind, report.target_name)
-        record.detected_at = report.confirmed_at
-        self.records.append(record)
-        self.process.after(
-            CONTROLLER_DECISION_TIME, self._initiate_container_recovery, pair, record, report
-        )
-
-    def _initiate_container_recovery(self, pair, record, report):
-        record.initiated_at = self.engine.now
-        done = lambda: self._recovery_done(pair, record)
-        if report.kind == "application":
-            record.note("in-place application restart")
-            pair.restart_application(record, done)
-        else:
-            if report.kind == "container_network":
-                # "the controller will kill the primary container through
-                #  TKE while starting the BGP NSR migration"
-                record.note("killing primary container via TKE")
-                pair.kill_primary_container()
-            record.note("NSR migration to backup container")
-            pair.activate_backup(record, done, cold=False)
-
-    def _handle_machine_failure(self, report):
-        machine_name = report.target_name
-        # Fencing first: the machine must never answer for service
-        # addresses again until manually reset (split-brain guard).
-        self.fencing.fence(machine_name)
-        affected = [
-            pair
-            for pair in self.pairs.values()
-            if pair.primary_machine_name == machine_name
-            and pair.name not in self._recovering
-        ]
-        self.events.append(
-            (self.engine.now, "machine-migration", (machine_name, len(affected)))
-        )
-        for index, pair in enumerate(affected):
-            self._recovering.add(pair.name)
-            record = MigrationRecord("machine", pair.primary_container_name)
-            record.detected_at = report.confirmed_at
-            self.records.append(record)
-            delay = CONTROLLER_DECISION_TIME_MACHINE + index * HOST_MIGRATION_STAGGER
-            self.process.after(
-                delay, self._initiate_machine_recovery, pair, record
-            )
-
-    def _initiate_machine_recovery(self, pair, record):
-        record.initiated_at = self.engine.now
-        record.note("mass NSR migration after machine failure")
-        pair.activate_backup(
-            record, lambda: self._recovery_done(pair, record), cold=True
-        )
-
-    def _recovery_done(self, pair, record):
-        if record.recovered_at is None:
-            record.recovered_at = self.engine.now
-        self._recovering.discard(pair.name)
-        self.events.append((self.engine.now, "recovery-done", pair.name))
-
-    def _pair_of_container(self, container_name):
-        for pair in self.pairs.values():
-            if pair.primary_container_name == container_name:
-                return pair
-        return None
-
-    # ------------------------------------------------------------------
-
-    def manual_reset_machine(self, machine_name):
-        """Operator unfences a repaired machine (§3.3.3).
-
-        The reset is a reimage: every container that was running when the
-        machine was fenced is stopped first.  Without this, a zombie BGP
-        process from before the failure would come back online with the
-        machine and fight the migrated active — the exact split-brain the
-        fencing rule exists to prevent.
-        """
-        machine = self.machines.get(machine_name)
-        if machine is not None:
-            for container in machine.containers.values():
-                if container.running:
-                    container.stop()
-            if machine.monitor is not None:
-                machine.monitor.clear_reported()
-        self.fencing.manual_reset(machine_name)
-        self.detector.reset_target(machine_name)
-
-    def completed_records(self):
-        return [r for r in self.records if r.complete]
 
 
 def _machine_status(machine):

@@ -13,6 +13,18 @@ injects (0.4–1.2 s, and the 2.0 s ablation outage in the NSR invariant
 tests) so a recoverable hiccup never triggers a spurious failover, yet
 narrow enough that detection + promotion + client drain completes well
 inside the liveness oracle's 6 s held-ACK streak limit.
+
+Both the pong and the miss path check the *endpoint generation* the ping
+was issued against: after a repoint (or stop) a straggler reply from the
+old — possibly fenced — primary must neither clear ``_first_miss`` and
+mask a real outage, nor count as a miss against the new primary.
+
+Under the replicated controller panel (DESIGN.md §15) each replica runs
+its own monitor as a *witness*: instead of promoting directly it hands a
+verdict to the panel via ``propose``, and the quorum leader calls
+:meth:`execute_promotion` with its leadership epoch.  The losing
+replicas are then told about the outcome via :meth:`note_promoted` so
+their probes chase the new primary.
 """
 
 from repro.kvstore.client import KvClient
@@ -25,11 +37,13 @@ CONFIRM_WINDOW = 2.5
 class DbFailoverMonitor:
     """Pings the KV primary; promotes the replica on confirmed death."""
 
-    def __init__(self, engine, host, cluster, on_failover=None):
+    def __init__(self, engine, host, cluster, on_failover=None, propose=None):
         self.engine = engine
         self.host = host
         self.cluster = cluster
         self.on_failover = on_failover
+        #: panel mode — called with (monitor) instead of promoting locally
+        self.propose = propose
         self.client = KvClient(engine, host, cluster.primary_addr,
                                cluster.port)
         self._first_miss = None
@@ -40,18 +54,25 @@ class DbFailoverMonitor:
     def _tick(self):
         if self._stopped:
             return
+        generation = self.client.endpoint_generation
         self.client.ping(
-            on_done=self._on_pong,
-            on_error=self._on_miss,
+            on_done=lambda: self._on_pong(generation),
+            on_error=lambda method, cause: self._on_miss(method, cause,
+                                                         generation),
             timeout=PING_TIMEOUT,
         )
         self.engine.schedule(PING_INTERVAL, self._tick)
 
-    def _on_pong(self):
+    def _on_pong(self, generation):
+        if self._stopped or generation != self.client.endpoint_generation:
+            return
         self._first_miss = None
 
-    def _on_miss(self, _method, _cause):
+    def _on_miss(self, _method, _cause, generation=None):
         if self._stopped:
+            return
+        if (generation is not None
+                and generation != self.client.endpoint_generation):
             return
         now = self.engine.now
         if self._first_miss is None:
@@ -61,20 +82,45 @@ class DbFailoverMonitor:
             return
         self._promote()
 
-    def _promote(self):
-        cluster = self.cluster
+    def promotion_viable(self):
         # Only promote when there is a live replica to promote onto;
         # after one failover the "replica" slot holds the dead old
         # primary, so a second confirmed death (both nodes gone) waits
         # here rather than ping-ponging the primary role.
-        if cluster.replica is None or cluster.replica.failed:
+        cluster = self.cluster
+        return cluster.replica is not None and not cluster.replica.failed
+
+    def _promote(self):
+        if not self.promotion_viable():
             return
-        new_addr = cluster.promote_replica()
+        if self.propose is not None:
+            self.propose(self)
+            return
+        self.execute_promotion()
+
+    def execute_promotion(self, controller_epoch=None):
+        """Promote the replica; the quorum leader's entry point.
+
+        Returns the new primary address, or None when the promotion was
+        not viable or the cluster's epoch gate rejected a stale leader.
+        """
+        if not self.promotion_viable():
+            return None
+        new_addr = self.cluster.promote_replica(
+            controller_epoch=controller_epoch)
+        if new_addr is None:
+            return None
         self.failovers += 1
         self._first_miss = None
-        self.client.repoint(new_addr, epoch=cluster.epoch)
+        self.client.repoint(new_addr, epoch=self.cluster.epoch)
         if self.on_failover is not None:
-            self.on_failover(new_addr, cluster.epoch)
+            self.on_failover(new_addr, self.cluster.epoch)
+        return new_addr
+
+    def note_promoted(self, new_addr, epoch):
+        """A *different* replica's promotion won: follow the new primary."""
+        self._first_miss = None
+        self.client.repoint(new_addr, epoch=epoch)
 
     def stop(self):
         self._stopped = True

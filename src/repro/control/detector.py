@@ -231,3 +231,24 @@ class FailureDetector:
         """Forget state after recovery so future failures re-report."""
         self._machines.pop(name, None)
         self._containers.pop(name, None)
+
+    def rearm_target(self, name):
+        """Allow a target to re-report *without* forgetting signal levels.
+
+        Used when a recovery is abandoned: the probes may still be down
+        (edge-triggered feeds will not re-fire), so we must keep the
+        current levels and only clear the report latches.
+        """
+        machine = self._machines.get(name)
+        if machine is not None:
+            machine.reported = False
+            if machine.timer is not None:
+                machine.timer.stop()
+                machine.timer = None
+            self._machine_signal_changed(name, machine)
+        container = self._containers.get(name)
+        if container is not None:
+            container.reported = False
+            container.dead_reported = False
+            if container.machine_name is not None:
+                self._evaluate_container(name, container.machine_name)

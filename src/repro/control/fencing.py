@@ -3,21 +3,32 @@
 §3.3.3: "once we decide to migrate, the original server will not be
 re-used before a manual reset — even if it goes back online before that —
 to avoid split-brain issues or oscillations."
+
+With the replicated controller panel (DESIGN.md §15) the registry is
+also an epoch-fence receiver: a fence request stamped with a stale
+leadership epoch is rejected, so a deposed ex-leader cannot fence a
+healthy machine.
 """
 
 
 class FencingRegistry:
     """Tracks which machines are fenced (banned from hosting actives)."""
 
-    def __init__(self, engine):
+    def __init__(self, engine, epoch_gate=None):
         self.engine = engine
+        self.epoch_gate = epoch_gate
         self._fenced = {}  # machine_name -> fenced_at
         self.history = []  # (time, action, machine_name)
 
-    def fence(self, machine_name):
+    def fence(self, machine_name, epoch=None):
+        if self.epoch_gate is not None and not self.epoch_gate.accepts(epoch):
+            self.epoch_gate.reject(("fence", machine_name), epoch)
+            self.history.append((self.engine.now, "rejected-fence", machine_name))
+            return False
         if machine_name not in self._fenced:
             self._fenced[machine_name] = self.engine.now
             self.history.append((self.engine.now, "fence", machine_name))
+        return True
 
     def is_fenced(self, machine_name):
         return machine_name in self._fenced

@@ -22,6 +22,7 @@ class MigrationRecord:
         self.initiated_at = None  # controller decision done, action started
         self.rebooted_at = None  # backup container up / app restarted
         self.recovered_at = None  # TCP repaired + BGP tables restored
+        self.abandoned = False  # deadline expired / action rejected
         self.notes = []
 
     # -- phase durations (Table 1 columns) --------------------------------

@@ -19,6 +19,8 @@ from repro.bgp.speaker import DEFAULT_MRAI, SpeakerConfig
 from repro.containers.host import HostMachine, ProcessMonitor
 from repro.control.controller import Controller
 from repro.control.fencing import FencingRegistry
+from repro.control.panel import ControllerPanel
+from repro.control.quorum import EpochGate
 from repro.control.ipsla import IpSlaProber, IpSlaResponder
 from repro.core.agent import AgentServer
 from repro.core.recovery import BackupRecovery
@@ -84,11 +86,16 @@ class TensorSystem:
     """The whole gateway cluster."""
 
     def __init__(self, engine=None, seed=0, verify_reads=True, hold_acks=True,
-                 hook_technology="netfilter", remote_db=None, tracing=False):
+                 hook_technology="netfilter", remote_db=None, tracing=False,
+                 controller_replicas=1, legacy_controller=False):
         """``remote_db``: None, or {"latency": seconds, "mode": "sync"|"async"}
         to add a disaster-recovery store in another facility (§5).
         ``tracing=True`` installs a causal tracer on the engine (DESIGN.md
-        §10); query the spans through :attr:`trace_store`."""
+        §10); query the spans through :attr:`trace_store`.
+        ``controller_replicas`` sizes the replicated controller panel
+        (DESIGN.md §15); 1 keeps the panel bit-identical to the plain
+        controller, which ``legacy_controller=True`` instantiates
+        directly (the differential determinism test pins the two)."""
         self.engine = engine or Engine()
         self.tracer = None
         if tracing:
@@ -105,9 +112,34 @@ class TensorSystem:
         self.hold_acks = hold_acks
         self.hook_technology = hook_technology
 
+        # One leadership-epoch fence shared by every receiver of
+        # controller actions: the fencing registry, the pairs (via
+        # ``_epoch_accepted``) and the KV cluster.  ``accepts(None)`` is
+        # always true, so the legacy unreplicated controller — which
+        # stamps nothing — is unaffected by the gate's presence.
+        self.controller_epoch_gate = EpochGate()
         self.controller_host = self.network.add_host("controller", "10.255.0.1")
-        self.fencing = FencingRegistry(self.engine)
-        self.controller = Controller(self.engine, self.controller_host, self.fencing)
+        self.controller_hosts = [self.controller_host]
+        for index in range(1, controller_replicas):
+            self.controller_hosts.append(
+                self.network.add_host(
+                    f"controller{index + 1}", f"10.255.0.{index + 1}"
+                )
+            )
+        self.fencing = FencingRegistry(
+            self.engine, epoch_gate=self.controller_epoch_gate
+        )
+        if legacy_controller:
+            self.controller = Controller(
+                self.engine, self.controller_host, self.fencing
+            )
+        else:
+            self.controller = ControllerPanel(
+                self.engine,
+                self.controller_hosts,
+                fencing=self.fencing,
+                epoch_gate=self.controller_epoch_gate,
+            )
 
         # Default database topology (§4.1): a replicated KV cluster —
         # primary + synchronous replica on separate hosts — watched by
@@ -119,6 +151,7 @@ class TensorSystem:
         self.db_cluster = ReplicatedKvCluster(
             self.engine, self.db_host, self.db_replica_host
         )
+        self.db_cluster.epoch_gate = self.controller_epoch_gate
         self._kv_registry = []
         self.controller.attach_database(self.db_cluster, self._on_db_failover)
         self.remote_db_spec = remote_db
@@ -207,8 +240,11 @@ class TensorSystem:
         self._machine_probers[name] = prober
         return machine
 
-    def _on_peer_probe_change(self, _prober, target_name, reachable):
-        self.controller.detector.note_machine_peer_ipsla(target_name, reachable)
+    def _on_peer_probe_change(self, prober, target_name, reachable):
+        # name the *origin* machine: the panel gates this feed on which
+        # replicas can currently reach the reporting machine
+        origin = prober.name.split(":", 1)[1]
+        self.controller.peer_ipsla_report(origin, target_name, reachable)
 
     def create_pair(self, name, primary_machine, backup_machine, service_addr,
                     local_as, router_id, neighbors, config_entries=100,
@@ -325,6 +361,10 @@ class TensorPair:
         self._suppress_supervision = False
         self._bfd_disc_registry = {}  # (vrf, remote) -> (my_disc, your_disc)
         self.activations = 0
+        #: set while the standby container is known-dead (the pair has
+        #: lost its insurance); cleared when a replacement comes up
+        self.backup_degraded = False
+        self._standby_refreshes = 0
         self.on_bfd_down = None
         self._migration_span = None  # open "migration" trace span
 
@@ -343,6 +383,18 @@ class TensorPair:
     @property
     def primary_container_name(self):
         return self.active_container.name
+
+    @property
+    def backup_container_name(self):
+        return self.standby_container.name
+
+    def _epoch_accepted(self, action, epoch):
+        """Receiver-side epoch fence on controller-driven actions."""
+        gate = getattr(self.system, "controller_epoch_gate", None)
+        if gate is None or gate.accepts(epoch):
+            return True
+        gate.reject((action, self.name), epoch)
+        return False
 
     # ------------------------------------------------------------------
     # bring-up
@@ -491,7 +543,9 @@ class TensorPair:
             from_container=self.active_container.name,
         )
 
-    def restart_application(self, record, on_done):
+    def restart_application(self, record, on_done, epoch=None):
+        if not self._epoch_accepted("restart_application", epoch):
+            return False
         self._begin_migration_span(record, "app_restart")
         self._suppress_supervision = True
         container = self.active_container
@@ -503,6 +557,7 @@ class TensorPair:
         self.engine.schedule(
             APP_RESTART_TIME, self._app_restarted, container, record, on_done
         )
+        return True
 
     def _app_restarted(self, container, record, on_done):
         if not container.running:
@@ -517,9 +572,12 @@ class TensorPair:
     # recovery action: NSR migration to the backup (E2/E4/E3/E5)
     # ------------------------------------------------------------------
 
-    def kill_primary_container(self):
+    def kill_primary_container(self, epoch=None):
+        if not self._epoch_accepted("kill_primary_container", epoch):
+            return False
         self._suppress_supervision = True
         self.active_container.stop()
+        return True
 
     def _standby_machine_healthy(self):
         machine = self.standby_machine
@@ -550,11 +608,13 @@ class TensorPair:
                 return True
         return False  # nowhere to go: stay on the (possibly dead) primary
 
-    def activate_backup(self, record, on_done, cold=False):
+    def activate_backup(self, record, on_done, cold=False, epoch=None):
+        if not self._epoch_accepted("activate_backup", epoch):
+            return False
         self._suppress_supervision = True
         if not self._ensure_healthy_standby():
             record.note("no healthy standby machine available; aborting")
-            return
+            return None
         self._begin_migration_span(record, "backup_activation")
         self.activations += 1
         container = self.standby_container
@@ -570,6 +630,39 @@ class TensorPair:
                     PROCESS_START_TIME, self._backup_up, record, on_done
                 )
             )
+        return True
+
+    def refresh_standby(self, epoch=None):
+        """Replace a dead standby container (controller-driven).
+
+        Prefers re-provisioning on the current standby machine when it
+        is healthy (only the container died); otherwise re-homes like
+        ``_ensure_healthy_standby``.  Returns True on success, None when
+        no healthy machine can host a standby (the pair stays degraded),
+        False only when the epoch fence rejected the action.
+        """
+        if not self._epoch_accepted("refresh_standby", epoch):
+            return False
+        machine = self.standby_machine if self._standby_machine_healthy() else None
+        if machine is None:
+            for candidate in self.system.machines.values():
+                if candidate is self.active_machine:
+                    continue
+                if (candidate.alive and candidate.host.network_up
+                        and not self.system.fencing.is_fenced(candidate.name)):
+                    machine = candidate
+                    break
+        if machine is None:
+            return None
+        self._standby_refreshes += 1
+        self.standby_machine = machine
+        self.standby_container = machine.create_container(
+            f"{self.name}-f{self._standby_refreshes}", self.config_entries
+        )
+        if self.preheat_backup:
+            self.standby_container.start()
+        self.backup_degraded = False
+        return True
 
     def _backup_up(self, record, on_done):
         record.rebooted_at = self.engine.now
@@ -596,10 +689,12 @@ class TensorPair:
                 f"{self.name}-{self.activations}s", self.config_entries
             )
             self.standby_container = replacement
+            self.backup_degraded = False
             if self.preheat_backup:
                 replacement.start()
         else:
             self.standby_container = old_container  # dead placeholder
+            self.backup_degraded = True
 
     # ------------------------------------------------------------------
     # shared recovery tail: download state, repair TCP, resume

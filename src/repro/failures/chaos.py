@@ -63,6 +63,14 @@ TRACED_CORPUS_SEEDS = (6, 7, 8, 9)
 #: drain held ACKs with no test-side intervention.
 DB_FAILOVER_CORPUS_SEEDS = (10, 11, 12)
 
+#: Seeds run with controller-plane chaos spliced in (DESIGN.md §15):
+#: the 3-replica controller panel takes replica crashes, controller<->
+#: machine partitions and lying monitors while the data-plane schedule
+#: runs, and the ``wrong_failover`` oracle asserts no fence/promote
+#: ever targeted a healthy node.  The seeds are picked so the corpus
+#: covers every controller-plane event kind and both lying modes.
+CONTROLLER_CORPUS_SEEDS = (13, 14, 15, 16, 17, 43)
+
 
 class ChaosSchedule:
     """One self-contained chaos run: topology knobs + timed events.
@@ -80,7 +88,8 @@ class ChaosSchedule:
     """
 
     def __init__(self, seed, neighbors=1, shared_vrf=False, initial_routes=100,
-                 injections=(), workload=(), duration=60.0):
+                 injections=(), workload=(), duration=60.0,
+                 controller_replicas=1):
         self.seed = seed
         self.neighbors = neighbors
         self.shared_vrf = shared_vrf
@@ -88,6 +97,7 @@ class ChaosSchedule:
         self.injections = [dict(event) for event in injections]
         self.workload = [dict(event) for event in workload]
         self.duration = duration
+        self.controller_replicas = controller_replicas
 
     def to_dict(self):
         return {
@@ -98,6 +108,7 @@ class ChaosSchedule:
             "injections": [dict(event) for event in self.injections],
             "workload": [dict(event) for event in self.workload],
             "duration": self.duration,
+            "controller_replicas": self.controller_replicas,
         }
 
     @classmethod
@@ -110,6 +121,7 @@ class ChaosSchedule:
             injections=data["injections"],
             workload=data["workload"],
             duration=data["duration"],
+            controller_replicas=data.get("controller_replicas", 1),
         )
 
     def copy(self):
@@ -127,13 +139,21 @@ class ChaosSchedule:
 # generation
 # ----------------------------------------------------------------------
 
-def generate_schedule(seed, db_failover=False):
+def generate_schedule(seed, db_failover=False, controller_chaos=False):
     """Derive a schedule from ``seed`` (pure function, no simulation).
 
     ``db_failover`` splices one permanent KV-primary kill into the
     schedule, drawn from a *separate* named stream so the base schedule
     for the seed is unchanged — seed N with and without the flag differ
     only by the added injection.
+
+    ``controller_chaos`` sizes the controller panel to 3 replicas and
+    splices 1–2 controller-plane events (replica crash+reboot,
+    controller<->machine partition, lying monitor, standby-container
+    kill) from another separate stream.  Events are sequential and
+    non-overlapping: each fault heals before the next fires, so a
+    3-replica panel always retains an honest quorum — any wrong
+    failover is then a real bug, not an impossible fault load.
     """
     r = DeterministicRandom(seed).stream("schedule")
     neighbors = r.choice((1, 2, 2, 3))
@@ -199,6 +219,39 @@ def generate_schedule(seed, db_failover=False):
             "target": None,
             "duration": None,
         })
+    controller_replicas = 1
+    if controller_chaos:
+        controller_replicas = 3
+        cr = DeterministicRandom(seed).stream("controller-chaos")
+        at = cr.uniform(2.0, 8.0)
+        for _ in range(cr.randint(1, 2)):
+            kind = cr.choice((
+                "controller_replica_crash", "controller_partition",
+                "lying_monitor", "backup_container",
+            ))
+            event = {
+                "at": round(at, 3), "scenario": kind,
+                "target": None, "duration": None,
+            }
+            hold = 0.0
+            if kind == "controller_replica_crash":
+                event["target"] = cr.randrange(controller_replicas)
+                event["duration"] = round(cr.uniform(4.0, 9.0), 3)
+                hold = event["duration"]
+            elif kind == "controller_partition":
+                event["target"] = cr.randrange(controller_replicas)
+                event["machine"] = cr.choice(("gw-1", "gw-2"))
+                event["duration"] = round(cr.uniform(4.0, 9.0), 3)
+                hold = event["duration"]
+            elif kind == "lying_monitor":
+                event["target"] = cr.randrange(controller_replicas)
+                event["mode"] = cr.choice(("accuse_machine", "accuse_container"))
+                event["duration"] = round(cr.uniform(5.0, 10.0), 3)
+                hold = event["duration"]
+            else:  # backup_container: kill the standby, panel must refresh
+                event["target"] = "standby"
+            injections.append(event)
+            at += hold + cr.uniform(3.0, 6.0)
     injections.sort(key=lambda event: event["at"])
 
     # -- workload bursts ---------------------------------------------------
@@ -239,6 +292,7 @@ def generate_schedule(seed, db_failover=False):
         injections=injections,
         workload=workload,
         duration=round(horizon + SETTLE_TAIL, 3),
+        controller_replicas=controller_replicas,
     )
 
 
@@ -321,10 +375,12 @@ class _WorkloadDriver:
             self.suite.note_withdraw(index, withdrawn)
 
 
-def _build_system(schedule, hold_acks, tracing=False):
+def _build_system(schedule, hold_acks, tracing=False, legacy_controller=False):
     """A converged TensorSystem matching the schedule's topology knobs."""
     system = TensorSystem(
-        seed=schedule.seed, hold_acks=hold_acks, tracing=tracing
+        seed=schedule.seed, hold_acks=hold_acks, tracing=tracing,
+        controller_replicas=schedule.controller_replicas,
+        legacy_controller=legacy_controller,
     )
     engine = system.engine
     m1 = system.add_machine("gw-1", "10.1.0.1")
@@ -371,11 +427,11 @@ class _PreparedRun:
     """
 
     def __init__(self, schedule, hold_acks=True, stop_on_violation=True,
-                 tracing=False):
+                 tracing=False, legacy_controller=False):
         self.schedule = schedule
         rand = DeterministicRandom(schedule.seed)
         self.system, self.pair, self.remotes = _build_system(
-            schedule, hold_acks, tracing
+            schedule, hold_acks, tracing, legacy_controller=legacy_controller
         )
         engine = self.system.engine
         self.suite = OracleSuite(
@@ -454,17 +510,20 @@ class _PreparedRun:
 
 
 def run_schedule(schedule, hold_acks=True, stop_on_violation=True,
-                 tracing=False):
+                 tracing=False, legacy_controller=False):
     """Replay ``schedule`` under continuous oracles.
 
     Pure function of ``(schedule, hold_acks, tracing)``: two calls
     return identical violations at identical virtual instants.  With
     ``tracing`` the system runs under a :class:`repro.trace.Tracer`
     and the suite additionally enforces the phase-latency oracle.
+    ``legacy_controller`` swaps the panel-of-1 for the plain controller
+    (the differential determinism test pins the two bit-identical).
     """
     prepared = _PreparedRun(
         schedule, hold_acks=hold_acks,
         stop_on_violation=stop_on_violation, tracing=tracing,
+        legacy_controller=legacy_controller,
     )
     prepared.step_to(prepared.deadline)
     return prepared.finish()
@@ -473,14 +532,43 @@ def run_schedule(schedule, hold_acks=True, stop_on_violation=True,
 def _fire_injection(injector, system, pair, suite, event):
     """Resolve the target *at fire time* (roles swap across migrations)."""
     kind = event["scenario"]
+    if kind == "controller_replica_crash":
+        index = event["target"]
+        suite.note_injection(kind, target_name=f"replica{index}",
+                             duration=event["duration"] or 0.0)
+        injector.controller_replica_crash(index,
+                                          reboot_after=event["duration"])
+        return
+    if kind == "controller_partition":
+        index = event["target"]
+        suite.note_injection(
+            kind, target_name=f"replica{index}:{event['machine']}",
+            duration=event["duration"] or 0.0,
+        )
+        injector.controller_partition(index, event["machine"],
+                                      duration=event["duration"])
+        return
+    if kind == "lying_monitor":
+        index = event["target"]
+        suite.note_injection(kind, target_name=f"replica{index}:{event['mode']}",
+                             duration=event["duration"] or 0.0)
+        injector.lying_monitor(index, mode=event["mode"],
+                               duration=event["duration"])
+        return
     machine = (
         pair.standby_machine if event["target"] == "standby"
         else pair.active_machine
+    )
+    container_name = (
+        pair.backup_container_name if kind == "backup_container"
+        else pair.primary_container_name
     )
     suite.note_injection(
         kind,
         target_name=machine.name,
         duration=event["duration"] or 0.0,
+        container_name=container_name,
+        pair_name=pair.name,
     )
     if kind == "application":
         injector.application_failure(pair)
@@ -488,6 +576,8 @@ def _fire_injection(injector, system, pair, suite, event):
         injector.container_failure(pair)
     elif kind == "container_network":
         injector.container_network_failure(pair)
+    elif kind == "backup_container":
+        injector.backup_container_failure(pair)
     elif kind == "host_machine":
         injector.host_machine_failure(machine)
     elif kind == "host_network":
@@ -539,7 +629,8 @@ class ChaosShardProgram:
             ChaosSchedule.from_dict(schedule_data)
             if schedule_data is not None
             else generate_schedule(
-                params["seed"], db_failover=params.get("db_failover", False)
+                params["seed"], db_failover=params.get("db_failover", False),
+                controller_chaos=params.get("controller_chaos", False),
             )
         )
         self.prepared = _PreparedRun(
@@ -547,6 +638,7 @@ class ChaosShardProgram:
             hold_acks=params.get("hold_acks", True),
             stop_on_violation=params.get("stop_on_violation", True),
             tracing=params.get("tracing", False),
+            legacy_controller=params.get("legacy_controller", False),
         )
         self.engine = self.prepared.system.engine
         self._result = None
@@ -582,7 +674,8 @@ def build_chaos_shard(shard_id, params, boundary):
 
 
 def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False,
-                       db_failover=False):
+                       db_failover=False, controller_chaos=False,
+                       legacy_controller=False):
     """ShardSpecs running one chaos seed per shard (all closed shards)."""
     from repro.sim.parallel.runtime import ShardSpec
 
@@ -591,18 +684,22 @@ def chaos_corpus_specs(seeds=CORPUS_SEEDS, hold_acks=True, tracing=False,
             f"chaos{seed}",
             "repro.failures.chaos:build_chaos_shard",
             params={"seed": seed, "hold_acks": hold_acks, "tracing": tracing,
-                    "db_failover": db_failover},
+                    "db_failover": db_failover,
+                    "controller_chaos": controller_chaos,
+                    "legacy_controller": legacy_controller},
         )
         for seed in seeds
     ]
 
 
-def chaos_corpus_horizon(seeds=CORPUS_SEEDS, db_failover=False):
+def chaos_corpus_horizon(seeds=CORPUS_SEEDS, db_failover=False,
+                         controller_chaos=False):
     """A run duration covering every seed's deadline under the parallel
     runner's shared clock (schedule generation is pure, so this is
     cheap and exact)."""
     return max(
-        generate_schedule(seed, db_failover=db_failover).duration
+        generate_schedule(seed, db_failover=db_failover,
+                          controller_chaos=controller_chaos).duration
         for seed in seeds
     ) + 1.0
 
@@ -832,7 +929,8 @@ def write_repro_script(schedule, violation, hold_acks, path):
     return path
 
 
-def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
+def shrink_and_report(schedule, first_result, hold_acks, out_dir=".",
+                      prefix="chaos_repro"):
     """The failure path of a sweep: shrink, write the repro, describe it."""
     violation = first_result.first_violation
     budget = ShrinkBudget.split(40)
@@ -840,7 +938,7 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
         schedule, hold_acks=hold_acks, expect_oracle=violation.oracle,
         budget=budget,
     )
-    path = f"{out_dir}/chaos_repro_{schedule.seed}.py"
+    path = f"{out_dir}/{prefix}_{schedule.seed}.py"
     write_repro_script(shrunk, violation, hold_acks, path)
     print(
         f"seed {schedule.seed}: VIOLATION {violation.oracle}"
@@ -859,14 +957,16 @@ def shrink_and_report(schedule, first_result, hold_acks, out_dir="."):
 # ----------------------------------------------------------------------
 
 def _run_one(seed, hold_acks=True, out_dir=".", tracing=False,
-             db_failover=False, stop_on_violation=True):
+             db_failover=False, stop_on_violation=True,
+             controller_chaos=False):
     """Run one seed; returns ``"ok"``, ``"violation"`` or ``"partial"``.
 
     A *partial* run — the engine stalled before the deadline without a
     violation halt — has no oracle verdict for the uncovered tail, so
     it must never read as a pass.
     """
-    schedule = generate_schedule(seed, db_failover=db_failover)
+    schedule = generate_schedule(seed, db_failover=db_failover,
+                                 controller_chaos=controller_chaos)
     result = run_schedule(schedule, hold_acks=hold_acks, tracing=tracing,
                           stop_on_violation=stop_on_violation)
     if result.first_violation is None:
@@ -880,14 +980,20 @@ def _run_one(seed, hold_acks=True, out_dir=".", tracing=False,
             return "partial"
         traced = "traced, " if tracing else ""
         failover = "db-failover, " if db_failover else ""
+        panel = (
+            f"panel x{schedule.controller_replicas}, "
+            if controller_chaos else ""
+        )
         print(
-            f"seed {seed}: ok ({traced}{failover}"
+            f"seed {seed}: ok ({traced}{failover}{panel}"
             f"{len(schedule.injections)} injections,"
             f" {len(schedule.workload)} bursts, {schedule.neighbors} neighbors,"
             f" {schedule.duration:.0f}s virtual)"
         )
         return "ok"
-    shrink_and_report(schedule, result, hold_acks, out_dir=out_dir)
+    prefix = "panel_repro" if controller_chaos else "chaos_repro"
+    shrink_and_report(schedule, result, hold_acks, out_dir=out_dir,
+                      prefix=prefix)
     return "violation"
 
 
@@ -901,6 +1007,9 @@ def main(argv=None):
                         help="run one seed verbosely")
     parser.add_argument("--corpus", action="store_true",
                         help="run the fixed tier-1 corpus seeds")
+    parser.add_argument("--controller-corpus", action="store_true",
+                        help="run the controller-plane chaos seeds"
+                             " (3-replica panel, DESIGN.md §15)")
     parser.add_argument("--ablation", action="store_true",
                         help="run with delayed ACKs disabled (must trip)")
     parser.add_argument("--keep-going", action="store_true",
@@ -928,20 +1037,24 @@ def main(argv=None):
                           stop_on_violation=stop_on_violation)
         return {"ok": 0, "violation": 1, "partial": 2}[status]
 
-    if args.corpus:
-        seeds = [(seed, False, False) for seed in CORPUS_SEEDS]
-        seeds += [(seed, True, False) for seed in TRACED_CORPUS_SEEDS]
-        seeds += [(seed, False, True) for seed in DB_FAILOVER_CORPUS_SEEDS]
+    if args.controller_corpus:
+        seeds = [(seed, False, False, True) for seed in CONTROLLER_CORPUS_SEEDS]
+    elif args.corpus:
+        seeds = [(seed, False, False, False) for seed in CORPUS_SEEDS]
+        seeds += [(seed, True, False, False) for seed in TRACED_CORPUS_SEEDS]
+        seeds += [(seed, False, True, False)
+                  for seed in DB_FAILOVER_CORPUS_SEEDS]
     else:
         seeds = [
-            (seed, False, False)
+            (seed, False, False, False)
             for seed in range(args.seeds if args.seeds is not None else 10)
         ]
     failures = partials = 0
-    for seed, tracing, db_failover in seeds:
+    for seed, tracing, db_failover, controller_chaos in seeds:
         status = _run_one(seed, out_dir=args.out, tracing=tracing,
                           db_failover=db_failover,
-                          stop_on_violation=stop_on_violation)
+                          stop_on_violation=stop_on_violation,
+                          controller_chaos=controller_chaos)
         failures += status == "violation"
         partials += status == "partial"
     total = len(seeds)

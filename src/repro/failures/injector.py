@@ -169,3 +169,59 @@ class FailureInjector:
         injection = self._record("agent", "agent")
         self.system.agent.fail()
         return injection
+
+    # -- controller-plane scenarios (DESIGN.md §15) ---------------------------
+
+    def backup_container_failure(self, pair):
+        """Kill the *standby* container: the pair loses its insurance.
+
+        The controller must notice (backup-degraded) and re-provision a
+        standby — before the panel refactor this death was silently
+        dropped and the next primary failure migrated onto a corpse.
+        """
+        injection = self._record("backup_container", pair.name)
+        pair.standby_container.fail()
+        return injection
+
+    def controller_replica_crash(self, index, reboot_after=None):
+        """Crash one controller-panel replica; optionally reboot it."""
+        injection = self._record("controller_replica", f"replica{index}")
+        panel = self.system.controller
+        panel.crash_replica(index)
+        if reboot_after is not None:
+            self.engine.schedule(reboot_after, panel.reboot_replica, index)
+        return injection
+
+    def controller_partition(self, index, machine_name, duration=None):
+        """Partition one panel replica from one machine (both the real
+        gRPC path and the modeled direct feeds)."""
+        injection = self._record(
+            "controller_partition", f"replica{index}:{machine_name}"
+        )
+        panel = self.system.controller
+        replica_host = panel.replicas[index].host
+        machine_host = self.system.machines[machine_name].host
+        self.system.network.partition(replica_host, machine_host)
+        panel.set_partitioned(index, machine_name, True)
+        if duration is not None:
+            self.engine.schedule(
+                duration, self._heal_controller_partition, index, machine_name
+            )
+        return injection
+
+    def _heal_controller_partition(self, index, machine_name):
+        panel = self.system.controller
+        replica_host = panel.replicas[index].host
+        machine_host = self.system.machines[machine_name].host
+        self.system.network.heal_partition(replica_host, machine_host)
+        panel.set_partitioned(index, machine_name, False)
+
+    def lying_monitor(self, index, mode="accuse_container", duration=None):
+        """Byzantine replica: fabricates verdicts against healthy targets
+        (and suppresses its honest pipeline) until ``duration`` expires."""
+        injection = self._record("lying_monitor", f"replica{index}:{mode}")
+        panel = self.system.controller
+        panel.set_corruption(index, mode)
+        if duration is not None:
+            self.engine.schedule(duration, panel.set_corruption, index, None)
+        return injection

@@ -24,6 +24,11 @@ Oracles (names are stable; repro scripts and docs reference them):
   stream position twice (``duplicate_applies`` stays zero).
 - ``fencing`` — only machines that suffered a machine-level injection
   may be fenced, and fencing must never block recovery silently.
+- ``wrong_failover`` — no accepted failure verdict (and no database
+  promotion) may target a node that suffered no matching injected
+  failure: the controller must never fence, migrate or promote against
+  a healthy target, even when a controller replica crashes, partitions
+  or lies (DESIGN.md §15).
 - ``convergence`` — at settle points, the gateway's per-VRF Loc-RIB
   equals the union of the live originated sets the workload model
   tracks, and (shared-VRF topologies) every remote sees every other
@@ -48,6 +53,12 @@ LIVENESS_STREAK_LIMIT = 6.0
 
 #: Per-connection storage bound (§3.1.2).
 STORAGE_BOUND_BYTES = 65536
+
+#: How long after a transient blip *ends* its lingering consequences may
+#: still legitimately surface as failure verdicts: the detector's
+#: recovery sweep can classify a container whose probes lag the heal
+#: (PR 8), and those probes take heartbeats+timeouts to re-converge.
+WRONG_FAILOVER_GRACE = 8.0
 
 
 class Violation:
@@ -86,6 +97,9 @@ class OracleSuite:
         # oracle is a different behaviour than one that never engaged.
         self.exercised = set()
         self.allowed_fences = set()
+        #: ground-truth injections (wrong_failover's justification base)
+        self._injected_truth = []
+        self._wf_cursor = 0  # controller events judged so far
         self.downtime = 0.0
         # workload model: per remote, {prefix_str: True} of live originations
         self.live = [dict() for _ in self.remotes]
@@ -133,10 +147,20 @@ class OracleSuite:
     def note_activity(self):
         self._last_activity = self.system.engine.now
 
-    def note_injection(self, kind, target_name=None, duration=0.0):
+    def note_injection(self, kind, target_name=None, duration=0.0,
+                       container_name=None, pair_name=None):
         """The driver reports each injection as it fires, so the fencing
-        oracle knows which fences are legitimate."""
+        oracle knows which fences are legitimate and the wrong_failover
+        oracle knows which verdicts have a real failure behind them."""
         self.note_activity()
+        self._injected_truth.append({
+            "kind": kind,
+            "target": target_name,
+            "duration": duration or 0.0,
+            "container": container_name,
+            "pair": pair_name,
+            "at": self.system.engine.now,
+        })
         if kind in ("host_machine", "host_network"):
             self.allowed_fences.add(target_name)
         if kind == "transient_network" and duration >= 3.0:
@@ -231,6 +255,7 @@ class OracleSuite:
         self._check_liveness(now)
         self._check_exactly_once(now)
         self._check_fencing(now)
+        self._check_wrong_failover(now)
         if (
             self.system.controller._recovering
             or self.system.db.failed
@@ -331,6 +356,80 @@ class OracleSuite:
                 f"machine(s) fenced without a machine-level failure: "
                 f"{sorted(stale)}",
             )
+
+    # justification bases per accepted-verdict class:
+    _WF_MACHINE_TRUTHS = ("host_machine", "host_network", "transient_network")
+    _WF_CONTAINER_TRUTHS = (
+        "application", "container", "container_network", "backup_container",
+        "host_machine", "host_network", "transient_network",
+    )
+    _WF_DB_TRUTHS = ("database", "database_failover")
+
+    def _truths_in_window(self, kinds, t, target=None):
+        """Injected truths of ``kinds`` whose consequences may still
+        legitimately surface at time ``t`` (transients get a grace
+        window past their heal; everything else persists)."""
+        matches = []
+        for truth in self._injected_truth:
+            if truth["kind"] not in kinds or truth["at"] > t:
+                continue
+            if target is not None and truth["target"] != target:
+                continue
+            if truth["duration"]:
+                if (truth["kind"] == "transient_network"
+                        and truth["duration"] >= 3.0):
+                    pass  # outlives the confirm timer: a real migration
+                elif t > truth["at"] + truth["duration"] + WRONG_FAILOVER_GRACE:
+                    continue
+            matches.append(truth)
+        return matches
+
+    def _check_wrong_failover(self, _now):
+        """No accepted verdict / promotion may target a healthy node.
+
+        Judges the controller's event log incrementally: every accepted
+        ``failure-report`` and every ``database-failover`` must have a
+        matching injected ground truth.  A fabricated verdict that a
+        lying, crashed or partitioned controller replica pushed past the
+        quorum would show up here as an orphan.
+        """
+        events = self.system.controller.events
+        pair_prefix = f"{self.pair.name}-"
+        while self._wf_cursor < len(events):
+            t, label, payload = events[self._wf_cursor]
+            self._wf_cursor += 1
+            if label == "failure-report":
+                report = payload
+                if report.kind == "machine_unreachable":
+                    self.exercised.add("wrong_failover")
+                    justified = self._truths_in_window(
+                        self._WF_MACHINE_TRUTHS, t, target=report.target_name
+                    )
+                else:
+                    # container-level verdicts: judge only this suite's
+                    # pair (its containers share the pair-name prefix);
+                    # other pairs' truths live in their own suites
+                    if not report.target_name.startswith(pair_prefix):
+                        continue
+                    self.exercised.add("wrong_failover")
+                    justified = self._truths_in_window(
+                        self._WF_CONTAINER_TRUTHS, t
+                    )
+                if not justified:
+                    self._violate(
+                        "wrong_failover",
+                        f"accepted {report.kind} verdict on"
+                        f" {report.target_name} at {t:.3f} with no matching"
+                        " injected failure",
+                    )
+            elif label == "database-failover":
+                self.exercised.add("wrong_failover")
+                if not self._truths_in_window(self._WF_DB_TRUTHS, t):
+                    self._violate(
+                        "wrong_failover",
+                        f"database promotion at {t:.3f} with no injected"
+                        " database failure",
+                    )
 
     def _check_convergence(self, _now):
         if any(self.live):

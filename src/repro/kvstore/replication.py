@@ -35,6 +35,10 @@ class ReplicatedKvCluster:
         self.primary.attach_replica(replica_host.address, port)
         self.failovers = 0
         self.epoch = 1
+        #: optional controller-leadership fence (distinct from the KV
+        #: epoch above): promotions stamped with a stale leadership
+        #: epoch are rejected (set by the system when a panel runs)
+        self.epoch_gate = None
         self.primary.epoch = self.epoch
         self.replica.epoch = self.epoch
         # Closed-port reset semantics on both hosts: a request to a dead
@@ -56,7 +60,7 @@ class ReplicatedKvCluster:
         """Kill the primary (a database single-point failure)."""
         self.primary.fail(permanent=permanent)
 
-    def promote_replica(self):
+    def promote_replica(self, controller_epoch=None):
         """Promote the replica to primary after a primary failure.
 
         Returns the new primary's address; clients must repoint (the
@@ -70,7 +74,16 @@ class ReplicatedKvCluster:
         epoch floor is raised so that — even across a reboot — writes
         from clients that never repointed are rejected instead of
         applied (split-brain prevention).
+
+        When a controller panel runs, ``controller_epoch`` carries the
+        requesting leader's epoch; a stale stamp is rejected (returns
+        None) so a deposed ex-leader cannot flip the primary.
         """
+        if (self.epoch_gate is not None
+                and not self.epoch_gate.accepts(controller_epoch)):
+            self.epoch_gate.reject(("promote_replica", self.primary_addr),
+                                   controller_epoch)
+            return None
         self.failovers += 1
         self.epoch += 1
         old_primary = self.primary

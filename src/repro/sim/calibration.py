@@ -180,6 +180,17 @@ TCP_REPAIR_RESUME_TIME = 1.0  # socket repair + BGP table download + resync
 HOST_MIGRATION_STAGGER = 0.15  # per-container serialization on mass move
 CONTROLLER_DECISION_TIME_MACHINE = 0.2  # planning a whole-machine migration
 
+# Recovery watchdog: a migration that has not completed this long after
+# the decision is abandoned and detection is re-armed (the per-entry
+# config-load term is added by the controller for full-table pairs, so a
+# legitimately slow cold boot is never falsely abandoned).  Generously
+# above the worst Table-1 recovery total (~9.2 s) plus confirm timers.
+RECOVERY_DEADLINE = 30.0
+
+# Replicated controller panel (DESIGN.md §15).
+PANEL_TICK = 0.5  # leadership-lease maintenance cadence
+PANEL_LIE_INTERVAL = 0.9  # corrupted-monitor fabrication cadence
+
 # Baseline (FRR/GoBGP/BIRD, Table 1 bracketed numbers): manual operations.
 BASELINE_MANUAL_DETECT = {"application": 1.0, "host_machine": 15.0, "host_network": 5.0}
 BASELINE_MANUAL_REBOOT = {"application": 20.0, "host_machine": 200.0, "host_network": 5.0}

@@ -210,6 +210,8 @@ class Network:
         self.fabric_latency = None
         self.fabric_bandwidth = None
         self._fabric_tx = {}
+        #: administratively partitioned physical-host pairs (chaos lever)
+        self._partitions = set()
         self.packets_sent = 0
         self.packets_dropped = 0
         self.taps = []
@@ -244,6 +246,13 @@ class Network:
 
     def link_between(self, a, b):
         return self._links.get(frozenset((a.name, b.name)))
+
+    def partition(self, a, b):
+        """Drop all traffic between two physical hosts (both directions)."""
+        self._partitions.add(frozenset((a.name, b.name)))
+
+    def heal_partition(self, a, b):
+        self._partitions.discard(frozenset((a.name, b.name)))
 
     def enable_fabric(self, latency=50e-6, bandwidth=25e9):
         """Enable the non-blocking switch fallback between physical hosts."""
@@ -287,6 +296,11 @@ class Network:
         """Latency+serialization for the physical path, or None if down/lost."""
         if src_anchor is dst_anchor:
             return self.LOCAL_LATENCY
+        # fast path: the set is empty except while a chaos partition is
+        # active, and membership checks never touch the loss rng
+        if (self._partitions
+                and frozenset((src_anchor.name, dst_anchor.name)) in self._partitions):
+            return None
         link = self.link_between(src_anchor, dst_anchor)
         now = self.engine.now
         if link is not None:

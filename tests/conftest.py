@@ -53,18 +53,21 @@ def make_tcp_pair(engine, stack_a, stack_b, port=7000, payload=b""):
 
 
 def build_tensor_fixture(seed=7, routes=1000, neighbors=1, preheat=True,
-                         rand=None, tracing=False, shared_vrf=False):
+                         rand=None, tracing=False, shared_vrf=False,
+                         controller_replicas=1):
     """A full TensorSystem with one pair and one remote AS, converged.
 
     ``rand`` overrides the :class:`DeterministicRandom` namespace the
     workload draws from (the chaos engine forks its schedule namespace
     into here); by default it derives from ``seed``.
+    ``controller_replicas`` sizes the controller panel (DESIGN.md §15).
     """
     from repro.core.system import PeerNeighborSpec, TensorSystem
     from repro.workloads.topology import build_remote_peer
     from repro.workloads.updates import RouteGenerator
 
-    system = TensorSystem(seed=seed, tracing=tracing)
+    system = TensorSystem(seed=seed, tracing=tracing,
+                          controller_replicas=controller_replicas)
     engine = system.engine
     m1 = system.add_machine("gw-1", "10.1.0.1")
     m2 = system.add_machine("gw-2", "10.2.0.1")

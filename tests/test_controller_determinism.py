@@ -1,0 +1,72 @@
+"""Differential pin: a controller panel of one is the old controller.
+
+The panel refactor (DESIGN.md §15) rewires every recovery action through
+quorum voting and epoch-fenced leadership.  With one replica the quorum
+is one and the leader never changes, so a panel-of-1 run must be
+*bit-identical* to the pre-panel controller on the whole chaos corpus:
+same controller events at the same virtual instants, same migration
+records, same oracle verdicts, same final RIB digest.  Any divergence
+means the refactor changed behaviour, not just structure.
+"""
+
+import pytest
+
+from repro.failures.chaos import (
+    CORPUS_SEEDS,
+    DB_FAILOVER_CORPUS_SEEDS,
+    TRACED_CORPUS_SEEDS,
+    generate_schedule,
+    run_schedule,
+)
+
+pytestmark = pytest.mark.slow
+
+ALL_SEEDS = CORPUS_SEEDS + TRACED_CORPUS_SEEDS + DB_FAILOVER_CORPUS_SEEDS
+
+
+def _normalize_events(controller):
+    """Event log with payloads flattened to comparable primitives."""
+    out = []
+    for t, label, payload in controller.events:
+        if hasattr(payload, "kind"):  # FailureReport
+            payload = (payload.kind, payload.target_name,
+                       payload.detected_at, payload.confirmed_at)
+        out.append((t, label, repr(payload)))
+    return out
+
+
+def _normalize_records(controller):
+    return [
+        (r.failure_kind, r.target_name, r.detected_at, r.initiated_at,
+         r.rebooted_at, r.recovered_at, r.abandoned, tuple(r.notes))
+        for r in controller.records
+    ]
+
+
+def _run(seed, legacy):
+    db_failover = seed in DB_FAILOVER_CORPUS_SEEDS
+    schedule = generate_schedule(seed, db_failover=db_failover)
+    result = run_schedule(schedule, legacy_controller=legacy)
+    controller = result.system.controller
+    return {
+        "events": _normalize_events(controller),
+        "records": _normalize_records(controller),
+        "violations": [
+            (v.time, v.oracle, v.detail) for v in result.suite.violations
+        ],
+        "verdict": result.suite.summary(),
+        "rib": result.system.rib_digest(),
+        "now": result.system.engine.now,
+    }
+
+
+@pytest.mark.parametrize("seed", ALL_SEEDS)
+def test_panel_of_one_bit_identical_to_legacy_controller(seed):
+    legacy = _run(seed, legacy=True)
+    panel = _run(seed, legacy=False)
+    assert panel["events"] == legacy["events"]
+    assert panel["records"] == legacy["records"]
+    assert panel["violations"] == legacy["violations"]
+    assert panel["verdict"] == legacy["verdict"]
+    assert panel["rib"] == legacy["rib"]
+    assert panel["now"] == legacy["now"]
